@@ -1,0 +1,53 @@
+// Command backend-server runs a backend database server on TCP, loaded with
+// the TPC-W database, for use with mtcache-server (the paper's multi-machine
+// deployment, §3 figure 1).
+//
+//	backend-server -addr 127.0.0.1:7000 -items 1000 -customers 2880
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"mtcache"
+	"mtcache/internal/tpcw"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7000", "listen address")
+		items     = flag.Int("items", 500, "TPC-W item count")
+		customers = flag.Int("customers", 1000, "TPC-W customer count")
+		empty     = flag.Bool("empty", false, "start with an empty server (no TPC-W data)")
+	)
+	flag.Parse()
+
+	backend := mtcache.NewBackend("backend")
+	if !*empty {
+		cfg := tpcw.Config{Items: *items, Customers: *customers, OrdersPerCustomer: 0.9, Seed: 20030609}
+		log.Printf("loading TPC-W (%d items, %d customers)...", cfg.Items, cfg.Customers)
+		if err := tpcw.Load(backend, cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The log reader and distribution agents serve in-process subscribers;
+	// TCP caches pull, so only the reader cadence matters here.
+	backend.StartReplication(100*time.Millisecond, 100*time.Millisecond)
+	defer backend.StopReplication()
+
+	srv, err := mtcache.ServeBackend(backend, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("backend serving on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+}

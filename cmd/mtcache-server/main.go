@@ -1,0 +1,116 @@
+// Command mtcache-server runs a mid-tier cache against a TCP backend and
+// offers a small interactive SQL shell. It performs the paper's §4 setup
+// over the wire: shadow database import, cached-view provisioning with pull
+// subscriptions, and a background pull agent.
+//
+//	mtcache-server -backend 127.0.0.1:7000
+//
+// Shell commands: any SQL statement; \explain <query>; \pull; \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mtcache"
+	"mtcache/internal/tpcw"
+)
+
+func main() {
+	var (
+		backendAddr = flag.String("backend", "127.0.0.1:7000", "backend wire address")
+		name        = flag.String("name", "cache1", "cache server name")
+		tpcwViews   = flag.Bool("tpcw-views", true, "create the paper's four TPC-W cached views")
+		pull        = flag.Duration("pull", 200*time.Millisecond, "pull-subscription poll interval")
+	)
+	flag.Parse()
+
+	client, err := mtcache.DialBackend(*backendAddr, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	cache, err := mtcache.NewRemoteCache(*name, client, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: shadow database imported from %s\n", *name, *backendAddr)
+
+	if *tpcwViews {
+		for _, ddl := range tpcw.CachedViewDDL {
+			if err := cache.CreateCachedView(ddl); err != nil {
+				log.Printf("cached view: %v", err)
+			}
+		}
+		fmt.Println("TPC-W cached views provisioned (cv_item, cv_author, cv_orders, cv_order_line)")
+	}
+	cache.StartPulling(*pull)
+	defer cache.StopPulling()
+
+	fmt.Println("type SQL statements; \\explain <q>, \\pull, \\quit")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\pull`:
+			n, err := cache.Pull()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("applied %d transactions\n", n)
+			}
+		case strings.HasPrefix(line, `\explain `):
+			text, err := cache.DB.Explain(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(text)
+			}
+		default:
+			res, err := cache.DB.Exec(line, nil)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printResult(res)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func printResult(res *mtcache.Result) {
+	if len(res.Cols) == 0 {
+		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+		return
+	}
+	var names []string
+	for _, c := range res.Cols {
+		names = append(names, c.Name)
+	}
+	fmt.Println(strings.Join(names, " | "))
+	limit := len(res.Rows)
+	if limit > 25 {
+		limit = 25
+	}
+	for _, row := range res.Rows[:limit] {
+		var vals []string
+		for _, v := range row {
+			vals = append(vals, v.Display())
+		}
+		fmt.Println(strings.Join(vals, " | "))
+	}
+	if len(res.Rows) > limit {
+		fmt.Printf("... %d more rows\n", len(res.Rows)-limit)
+	}
+	fmt.Printf("(%d rows; remote queries: %d)\n", len(res.Rows), res.Counters.RemoteQueries)
+}

@@ -1,0 +1,3 @@
+module mtcache
+
+go 1.22

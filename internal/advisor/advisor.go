@@ -1,0 +1,361 @@
+// Package advisor implements the design tool the paper lists as future work
+// (§7): "there are currently no tools to help a DBA define a caching
+// strategy by analyzing a workload and providing advice on what cached
+// views to create and where to run stored procedures."
+//
+// The advisor consumes a weighted workload (stored-procedure calls and
+// ad-hoc statements with relative frequencies), attributes reads and writes
+// to base tables, and emits:
+//
+//   - CREATE CACHED VIEW statements projecting exactly the columns the
+//     read workload touches, for tables whose read/write profile makes
+//     caching worthwhile;
+//   - a copy/keep recommendation per stored procedure (read-dominated
+//     procedures run on the cache; update-dominated ones stay on the
+//     backend, as in the paper's §6.1 configuration).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/sql"
+)
+
+// WorkloadItem is one statement (or EXEC call) with a relative frequency.
+type WorkloadItem struct {
+	SQL    string
+	Weight float64
+}
+
+// Options tunes the recommendation thresholds.
+type Options struct {
+	// MinReadWeight is the minimum accumulated read weight before a table
+	// is worth caching at all.
+	MinReadWeight float64
+	// MinReadWriteRatio is the minimum read/write weight ratio; below it
+	// the replication cost likely exceeds the offloaded work.
+	MinReadWriteRatio float64
+	// ProcCopyReadShare is the minimum fraction of a procedure's statement
+	// weight that must be reads for the advisor to copy it to caches.
+	ProcCopyReadShare float64
+}
+
+// DefaultOptions mirror the trade-offs of the paper's hand configuration.
+func DefaultOptions() Options {
+	return Options{MinReadWeight: 1, MinReadWriteRatio: 0.5, ProcCopyReadShare: 0.5}
+}
+
+// ViewAdvice is one recommended cached view.
+type ViewAdvice struct {
+	Table       string
+	Columns     []string // projection, in table order
+	DDL         string   // ready-to-run CREATE CACHED VIEW
+	ReadWeight  float64
+	WriteWeight float64
+	Recommended bool
+	Reason      string
+}
+
+// ProcAdvice is one stored procedure's placement recommendation.
+type ProcAdvice struct {
+	Name        string
+	CopyToCache bool
+	ReadShare   float64
+	Reason      string
+}
+
+// Advice is the advisor's full output.
+type Advice struct {
+	Views []ViewAdvice
+	Procs []ProcAdvice
+}
+
+// tableUsage accumulates per-table statistics.
+type tableUsage struct {
+	table   *catalog.Table
+	readW   float64
+	writeW  float64
+	columns map[string]bool
+}
+
+// Analyze runs the advisor over a workload against a backend catalog.
+func Analyze(cat *catalog.Catalog, workload []WorkloadItem, opts Options) (*Advice, error) {
+	usage := map[string]*tableUsage{}
+	procStats := map[string]*struct{ readW, writeW float64 }{}
+
+	use := func(name string) *tableUsage {
+		k := strings.ToLower(name)
+		if u, ok := usage[k]; ok {
+			return u
+		}
+		t := cat.Table(name)
+		if t == nil {
+			return nil
+		}
+		u := &tableUsage{table: t, columns: map[string]bool{}}
+		usage[k] = u
+		return u
+	}
+
+	var analyzeStmt func(stmt sql.Statement, weight float64, proc string) error
+	analyzeStmt = func(stmt sql.Statement, weight float64, proc string) error {
+		record := func(read bool) {
+			if proc == "" {
+				return
+			}
+			ps, ok := procStats[proc]
+			if !ok {
+				ps = &struct{ readW, writeW float64 }{}
+				procStats[proc] = ps
+			}
+			if read {
+				ps.readW += weight
+			} else {
+				ps.writeW += weight
+			}
+		}
+		switch x := stmt.(type) {
+		case *sql.SelectStmt:
+			record(true)
+			analyzeSelect(x, weight, use)
+		case *sql.InsertStmt:
+			record(false)
+			if u := use(x.Table.Name); u != nil {
+				u.writeW += weight
+			}
+			if x.Select != nil {
+				analyzeSelect(x.Select, weight, use)
+			}
+		case *sql.UpdateStmt:
+			record(false)
+			if u := use(x.Table.Name); u != nil {
+				u.writeW += weight
+			}
+		case *sql.DeleteStmt:
+			record(false)
+			if u := use(x.Table.Name); u != nil {
+				u.writeW += weight
+			}
+		case *sql.ExecStmt:
+			p := cat.Procedure(x.Proc)
+			if p == nil {
+				return fmt.Errorf("advisor: workload calls unknown procedure %s", x.Proc)
+			}
+			for _, body := range p.Body {
+				if err := analyzeStmt(body, weight, p.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, item := range workload {
+		stmt, err := sql.Parse(item.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: %q: %w", item.SQL, err)
+		}
+		if err := analyzeStmt(stmt, item.Weight, ""); err != nil {
+			return nil, err
+		}
+	}
+
+	advice := &Advice{}
+	var names []string
+	for k := range usage {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		u := usage[k]
+		va := ViewAdvice{
+			Table:       u.table.Name,
+			ReadWeight:  u.readW,
+			WriteWeight: u.writeW,
+		}
+		// Projection: referenced columns in table order (fall back to all
+		// columns when references could not be attributed).
+		for _, c := range u.table.Columns {
+			if u.columns[strings.ToLower(c.Name)] {
+				va.Columns = append(va.Columns, c.Name)
+			}
+		}
+		if len(va.Columns) == 0 {
+			va.Columns = u.table.ColumnNames()
+		}
+		va.DDL = fmt.Sprintf("CREATE CACHED VIEW cv_%s AS SELECT %s FROM %s",
+			strings.ToLower(u.table.Name), strings.Join(va.Columns, ", "), u.table.Name)
+		switch {
+		case u.readW < opts.MinReadWeight:
+			va.Reason = fmt.Sprintf("read weight %.2f below threshold %.2f", u.readW, opts.MinReadWeight)
+		case u.writeW > 0 && u.readW/u.writeW < opts.MinReadWriteRatio:
+			va.Reason = fmt.Sprintf("read/write ratio %.2f below threshold %.2f", u.readW/u.writeW, opts.MinReadWriteRatio)
+		default:
+			va.Recommended = true
+			va.Reason = fmt.Sprintf("read weight %.2f, write weight %.2f", u.readW, u.writeW)
+		}
+		advice.Views = append(advice.Views, va)
+	}
+
+	var procNames []string
+	for name := range procStats {
+		procNames = append(procNames, name)
+	}
+	sort.Strings(procNames)
+	for _, name := range procNames {
+		ps := procStats[name]
+		total := ps.readW + ps.writeW
+		share := 0.0
+		if total > 0 {
+			share = ps.readW / total
+		}
+		pa := ProcAdvice{Name: name, ReadShare: share}
+		if share >= opts.ProcCopyReadShare {
+			pa.CopyToCache = true
+			pa.Reason = fmt.Sprintf("%.0f%% of statement weight is reads", share*100)
+		} else {
+			pa.Reason = fmt.Sprintf("update-dominated (%.0f%% reads); keep on the backend", share*100)
+		}
+		advice.Procs = append(advice.Procs, pa)
+	}
+	return advice, nil
+}
+
+// analyzeSelect attributes a SELECT's reads and column references.
+func analyzeSelect(s *sql.SelectStmt, weight float64, use func(string) *tableUsage) {
+	// alias -> usage for this block
+	aliases := map[string]*tableUsage{}
+	var blockUsages []*tableUsage
+	var walkFrom func(ref sql.TableRef)
+	walkFrom = func(ref sql.TableRef) {
+		switch x := ref.(type) {
+		case *sql.TableName:
+			u := use(x.Name)
+			if u == nil {
+				return
+			}
+			u.readW += weight
+			blockUsages = append(blockUsages, u)
+			alias := x.Alias
+			if alias == "" {
+				alias = x.Name
+			}
+			aliases[strings.ToLower(alias)] = u
+		case *sql.JoinRef:
+			walkFrom(x.Left)
+			walkFrom(x.Right)
+			record(x.On, aliases, blockUsages)
+		case *sql.SubqueryRef:
+			analyzeSelect(x.Select, weight, use)
+		}
+	}
+	for _, f := range s.From {
+		walkFrom(f)
+	}
+	exprs := []sql.Expr{s.Where, s.Having, s.Top}
+	for _, item := range s.Columns {
+		if item.Star {
+			// SELECT *: every column of every block table.
+			for _, u := range blockUsages {
+				for _, c := range u.table.Columns {
+					u.columns[strings.ToLower(c.Name)] = true
+				}
+			}
+			continue
+		}
+		exprs = append(exprs, item.Expr)
+	}
+	for _, g := range s.GroupBy {
+		exprs = append(exprs, g)
+	}
+	for _, o := range s.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		record(e, aliases, blockUsages)
+	}
+}
+
+// record attributes an expression's column references: qualified by alias,
+// or by unique column-name ownership among the block's tables.
+func record(e sql.Expr, aliases map[string]*tableUsage, blockUsages []*tableUsage) {
+	if e == nil {
+		return
+	}
+	sql.WalkExpr(e, func(x sql.Expr) bool {
+		ref, ok := x.(*sql.ColumnRef)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(ref.Name)
+		if ref.Table != "" {
+			if u, ok := aliases[strings.ToLower(ref.Table)]; ok {
+				u.columns[name] = true
+			}
+			return true
+		}
+		var owner *tableUsage
+		for _, u := range blockUsages {
+			if u.table.ColumnIndex(name) >= 0 {
+				if owner != nil {
+					return true // ambiguous: skip rather than guess
+				}
+				owner = u
+			}
+		}
+		if owner != nil {
+			owner.columns[name] = true
+		}
+		return true
+	})
+}
+
+// Format renders the advice as a readable report.
+func (a *Advice) Format() string {
+	var b strings.Builder
+	b.WriteString("== cached view recommendations ==\n")
+	for _, v := range a.Views {
+		mark := " "
+		if v.Recommended {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s %-18s read=%8.2f write=%8.2f  %s\n", mark, v.Table, v.ReadWeight, v.WriteWeight, v.Reason)
+		if v.Recommended {
+			fmt.Fprintf(&b, "    %s\n", v.DDL)
+		}
+	}
+	b.WriteString("\n== stored procedure placement ==\n")
+	for _, p := range a.Procs {
+		where := "backend"
+		if p.CopyToCache {
+			where = "cache"
+		}
+		fmt.Fprintf(&b, "  %-22s -> %-7s (%s)\n", p.Name, where, p.Reason)
+	}
+	return b.String()
+}
+
+// RecommendedViews returns the DDL of all recommended views.
+func (a *Advice) RecommendedViews() []string {
+	var out []string
+	for _, v := range a.Views {
+		if v.Recommended {
+			out = append(out, v.DDL)
+		}
+	}
+	return out
+}
+
+// ProcsToCopy returns the names of procedures recommended for cache copies.
+func (a *Advice) ProcsToCopy() []string {
+	var out []string
+	for _, p := range a.Procs {
+		if p.CopyToCache {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+// Package catalog maintains database metadata: tables, columns, indexes,
+// views, stored procedures, permissions and optimizer statistics.
+//
+// The catalog is the piece MTCache "shadows": a cache server imports the
+// backend's full catalog — schema, constraints, permissions and statistics —
+// while keeping every table empty (paper §3). Shadowing lets the cache parse
+// queries, perform view matching, check permissions and cost plans locally
+// without contacting the backend.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mtcache/internal/sql"
+	"mtcache/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    types.Kind
+	NotNull bool
+	Default sql.Expr // nil if none
+}
+
+// Index describes a secondary (or primary) index.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []int // ordinals into the table's Columns
+	Unique  bool
+}
+
+// Table describes a base table, view, materialized view or cached view.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []int // column ordinals; empty if none
+	Indexes    []*Index
+
+	// View fields. For cached views the definition is a select-project
+	// expression over a table or materialized view on the *backend* server
+	// (paper §3); for local materialized views it is over local tables.
+	IsView       bool
+	Materialized bool
+	Cached       bool // MTCache cached view, maintained by replication
+	ViewDef      *sql.SelectStmt
+
+	Stats *TableStats
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the column with the given name, or nil.
+func (t *Table) Column(name string) *Column {
+	if i := t.ColumnIndex(name); i >= 0 {
+		return &t.Columns[i]
+	}
+	return nil
+}
+
+// ColumnNames returns the column names in ordinal order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Procedure is a stored procedure: a parameterized statement sequence.
+type Procedure struct {
+	Name   string
+	Params []sql.ProcParam
+	Body   []sql.Statement
+	Text   string // original CREATE PROCEDURE text, for copying to caches
+}
+
+// Permission grants are deliberately simple: user -> object -> action set.
+// They exist because the shadow database must replicate them so the cache
+// can check permissions locally (paper §3).
+type Permission struct {
+	User   string
+	Object string // table/view/proc name, or "*" for all
+	Action string // "SELECT", "INSERT", "UPDATE", "DELETE", "EXEC", or "*"
+}
+
+// Catalog is the metadata store for one database. It is safe for concurrent
+// use; DDL takes the write lock, lookups take the read lock.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	procs  map[string]*Procedure
+	perms  []Permission
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		procs:  make(map[string]*Procedure),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// AddTable registers a table or view definition.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	if t.Stats == nil {
+		t.Stats = NewTableStats()
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// DropTable removes a table and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[key(name)]
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddIndex registers an index on an existing table.
+func (c *Catalog) AddIndex(tableName string, idx *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(tableName)]
+	if !ok {
+		return fmt.Errorf("catalog: table %s does not exist", tableName)
+	}
+	for _, existing := range t.Indexes {
+		if strings.EqualFold(existing.Name, idx.Name) {
+			return fmt.Errorf("catalog: index %s already exists on %s", idx.Name, tableName)
+		}
+	}
+	idx.Table = t.Name
+	t.Indexes = append(t.Indexes, idx)
+	return nil
+}
+
+// AddProcedure registers a stored procedure.
+func (c *Catalog) AddProcedure(p *Procedure) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(p.Name)
+	if _, ok := c.procs[k]; ok {
+		return fmt.Errorf("catalog: procedure %s already exists", p.Name)
+	}
+	c.procs[k] = p
+	return nil
+}
+
+// DropProcedure removes a stored procedure.
+func (c *Catalog) DropProcedure(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.procs[k]; !ok {
+		return fmt.Errorf("catalog: procedure %s does not exist", name)
+	}
+	delete(c.procs, k)
+	return nil
+}
+
+// Procedure looks up a stored procedure, or nil. Whether a procedure is
+// found locally decides where it runs: locally if present, else forwarded
+// to the backend (paper §5.2).
+func (c *Catalog) Procedure(name string) *Procedure {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.procs[key(name)]
+}
+
+// Procedures returns all stored procedures sorted by name.
+func (c *Catalog) Procedures() []*Procedure {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Procedure, 0, len(c.procs))
+	for _, p := range c.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Grant records a permission.
+func (c *Catalog) Grant(user, object, action string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.perms = append(c.perms, Permission{User: user, Object: object, Action: strings.ToUpper(action)})
+}
+
+// Allowed checks a permission. An empty permission list means open access
+// (single-user mode); otherwise a matching grant is required.
+func (c *Catalog) Allowed(user, object, action string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.perms) == 0 {
+		return true
+	}
+	action = strings.ToUpper(action)
+	for _, p := range c.perms {
+		if p.User != user && p.User != "*" {
+			continue
+		}
+		if p.Object != "*" && !strings.EqualFold(p.Object, object) {
+			continue
+		}
+		if p.Action == "*" || p.Action == action {
+			return true
+		}
+	}
+	return false
+}
+
+// Permissions returns a copy of all grants.
+func (c *Catalog) Permissions() []Permission {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Permission(nil), c.perms...)
+}
+
+// CachedViews returns all cached views sorted by name.
+func (c *Catalog) CachedViews() []*Table {
+	var out []*Table
+	for _, t := range c.Tables() {
+		if t.Cached {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MaterializedViews returns all materialized (non-cached) views.
+func (c *Catalog) MaterializedViews() []*Table {
+	var out []*Table
+	for _, t := range c.Tables() {
+		if t.Materialized && !t.Cached {
+			out = append(out, t)
+		}
+	}
+	return out
+}

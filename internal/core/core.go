@@ -1,0 +1,273 @@
+// Package core implements MTCache itself: transparent mid-tier database
+// caching (the paper's contribution). It wires together the engine, the
+// optimizer extensions and the replication pipeline:
+//
+//   - NewBackend creates the authoritative server with its replication
+//     runtime (publisher + distributor + log reader);
+//   - NewCache performs the paper's §4 setup flow: generate the shadow
+//     script from the backend catalog, run it on the cache, import the
+//     backend's statistics and permissions — producing a shadow database
+//     whose tables are empty but whose metadata mirrors the backend;
+//   - CREATE CACHED VIEW on a cache automatically derives a matching
+//     replication article (select-project over the base table), creates the
+//     subscription, and populates the view — "when a cached view is created,
+//     we automatically create a replication subscription matching the view";
+//   - stored procedures are selectively copied with CopyProcedure (§5.2);
+//   - applications connect through Conn; re-pointing a Conn from the backend
+//     to a cache is the analog of redirecting an ODBC source (§4) — no
+//     application change needed.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/engine"
+	"mtcache/internal/exec"
+	"mtcache/internal/opt"
+	"mtcache/internal/repl"
+	"mtcache/internal/sql"
+)
+
+// BackendServer is the authoritative database plus its replication runtime.
+type BackendServer struct {
+	DB   *engine.Database
+	Repl *repl.Server
+}
+
+// NewBackend creates an empty backend server.
+func NewBackend(name string) *BackendServer {
+	db := engine.New(engine.Config{Name: name, Role: engine.Backend})
+	return &BackendServer{DB: db, Repl: repl.NewServer(db)}
+}
+
+// Exec runs a statement on the backend.
+func (b *BackendServer) Exec(sqlText string, params exec.Params) (*engine.Result, error) {
+	return b.DB.Exec(sqlText, params)
+}
+
+// ExecScript runs a multi-statement script on the backend.
+func (b *BackendServer) ExecScript(script string) error { return b.DB.ExecScript(script) }
+
+// Snapshot exports the catalog image a cache imports at setup.
+func (b *BackendServer) Snapshot() *catalog.Snapshot {
+	return catalog.ExportSnapshot(b.DB.Catalog())
+}
+
+// CacheServer is one MTCache instance.
+type CacheServer struct {
+	DB      *engine.Database
+	backend *BackendServer
+	subs    map[string]*repl.Subscription // by cached view name (lower)
+}
+
+// NewCache provisions a cache server against a backend: shadow database
+// (schema, statistics, permissions — no data), backend link for remote
+// queries and update forwarding, and the cached-view hook.
+func NewCache(name string, backend *BackendServer, options *opt.Options) (*CacheServer, error) {
+	db := engine.New(engine.Config{
+		Name:    name,
+		Role:    engine.Cache,
+		Remote:  engine.NewLink(backend.DB),
+		Options: options,
+	})
+	c := &CacheServer{DB: db, backend: backend, subs: map[string]*repl.Subscription{}}
+	if err := c.ImportSnapshot(backend.Snapshot()); err != nil {
+		return nil, err
+	}
+	db.OnCachedViewCreate(c.provisionCachedView)
+	db.SetStalenessProbe(func(view string) (float64, bool) {
+		sub := c.subs[strings.ToLower(view)]
+		if sub == nil {
+			return 0, false
+		}
+		return sub.Staleness(time.Now()).Seconds(), true
+	})
+	return c, nil
+}
+
+// ImportSnapshot builds (or refreshes statistics of) the shadow database
+// from a backend catalog snapshot.
+func (c *CacheServer) ImportSnapshot(snap *catalog.Snapshot) error {
+	return ImportSnapshotInto(c.DB, snap)
+}
+
+// ImportSnapshotInto runs the §4 shadow setup against any cache-role
+// database: execute the shadow DDL script (first time only), then install
+// the backend's statistics and permission grants. Used both by the
+// in-process cache and by the TCP-connected remote cache.
+func ImportSnapshotInto(db *engine.Database, snap *catalog.Snapshot) error {
+	fresh := len(db.Catalog().Tables()) == 0
+	if fresh {
+		if err := db.ExecScript(snap.Script); err != nil {
+			return fmt.Errorf("core: shadow script: %w", err)
+		}
+	}
+	for name, stats := range snap.Stats {
+		if t := db.Catalog().Table(name); t != nil && !t.Cached {
+			t.Stats = stats.Clone()
+		}
+	}
+	for _, p := range snap.Perms {
+		db.Catalog().Grant(p.User, p.Object, p.Action)
+	}
+	db.InvalidatePlans()
+	return nil
+}
+
+// RefreshStats re-imports shadowed statistics from the backend (the paper
+// lists catalog refresh as future work; we provide the primitive).
+func (c *CacheServer) RefreshStats() error {
+	snap := c.backend.Snapshot()
+	for name, stats := range snap.Stats {
+		if t := c.DB.Catalog().Table(name); t != nil && !t.Cached {
+			t.Stats = stats.Clone()
+		}
+	}
+	c.DB.InvalidatePlans()
+	return nil
+}
+
+// provisionCachedView is the CREATE CACHED VIEW hook: derive the matching
+// article, create the subscription and populate the view.
+func (c *CacheServer) provisionCachedView(view *catalog.Table) error {
+	def := view.ViewDef
+	if len(def.From) != 1 {
+		return fmt.Errorf("core: cached views must be select-project over one table")
+	}
+	tn, ok := def.From[0].(*sql.TableName)
+	if !ok {
+		return fmt.Errorf("core: cached view source must be a table or materialized view")
+	}
+	var cols []string
+	for _, item := range def.Columns {
+		if item.Star {
+			cols = nil
+			break
+		}
+		ref, ok := item.Expr.(*sql.ColumnRef)
+		if !ok {
+			return fmt.Errorf("core: cached views may project only plain columns")
+		}
+		cols = append(cols, ref.Name)
+	}
+	art, err := c.backend.Repl.EnsureArticle(tn.Name, cols, def.Where)
+	if err != nil {
+		return err
+	}
+	sub, err := c.backend.Repl.Subscribe(art, c.DB, view.Name)
+	if err != nil {
+		return err
+	}
+	c.subs[strings.ToLower(view.Name)] = sub
+	return nil
+}
+
+// CreateCachedView runs a CREATE CACHED VIEW statement; provisioning is
+// automatic.
+func (c *CacheServer) CreateCachedView(ddl string) error {
+	_, err := c.DB.Exec(ddl, nil)
+	return err
+}
+
+// CopyProcedure copies one stored procedure from the backend so it runs
+// locally on this cache (paper §5.2). The DBA chooses which to copy.
+func (c *CacheServer) CopyProcedure(name string) error {
+	p := c.backend.DB.Catalog().Procedure(name)
+	if p == nil {
+		return fmt.Errorf("core: backend has no procedure %s", name)
+	}
+	return c.DB.CopyProcedureFrom(p.Text)
+}
+
+// CopyAllProceduresExcept copies every backend procedure except the named
+// ones (the benchmark keeps update-dominated procedures on the backend).
+func (c *CacheServer) CopyAllProceduresExcept(skip ...string) error {
+	skipSet := map[string]bool{}
+	for _, s := range skip {
+		skipSet[strings.ToLower(s)] = true
+	}
+	for _, p := range c.backend.DB.Catalog().Procedures() {
+		if skipSet[strings.ToLower(p.Name)] {
+			continue
+		}
+		if err := c.CopyProcedure(p.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Subscription returns the replication subscription backing a cached view.
+func (c *CacheServer) Subscription(viewName string) *repl.Subscription {
+	return c.subs[strings.ToLower(viewName)]
+}
+
+// ViewStaleness reports how far a cached view currently trails the backend.
+func (c *CacheServer) ViewStaleness(viewName string) (time.Duration, bool) {
+	sub := c.Subscription(viewName)
+	if sub == nil {
+		return 0, false
+	}
+	return sub.Staleness(time.Now()), true
+}
+
+// Exec runs a statement on the cache (the application-facing entry point).
+func (c *CacheServer) Exec(sqlText string, params exec.Params) (*engine.Result, error) {
+	return c.DB.Exec(sqlText, params)
+}
+
+// Conn is what applications hold: an opaque connection that can point at
+// either a backend or a cache. Re-pointing it is the ODBC redirection of
+// paper §4 — the application code is identical either way, which is the
+// transparency property the paper is named for.
+type Conn struct {
+	exec func(string, exec.Params) (*engine.Result, error)
+	call func(string, exec.Params) (*engine.Result, error)
+	name string
+}
+
+// ConnectBackend returns a Conn bound to the backend.
+func ConnectBackend(b *BackendServer) *Conn {
+	return &Conn{
+		exec: b.DB.Exec,
+		call: b.DB.CallProcedure,
+		name: b.DB.Name,
+	}
+}
+
+// ConnectCache returns a Conn bound to a cache server.
+func ConnectCache(c *CacheServer) *Conn {
+	return &Conn{
+		exec: c.DB.Exec,
+		call: c.DB.CallProcedure,
+		name: c.DB.Name,
+	}
+}
+
+// Exec runs one statement.
+func (cn *Conn) Exec(sqlText string, params exec.Params) (*engine.Result, error) {
+	return cn.exec(sqlText, params)
+}
+
+// Call invokes a stored procedure with bound parameters.
+func (cn *Conn) Call(proc string, params exec.Params) (*engine.Result, error) {
+	return cn.call(proc, params)
+}
+
+// Server returns the name of the server this Conn points at.
+func (cn *Conn) Server() string { return cn.name }
+
+// StartReplication launches the backend's replication agents.
+func (b *BackendServer) StartReplication(readerInterval, distInterval time.Duration) {
+	b.Repl.Start(readerInterval, distInterval)
+}
+
+// StopReplication halts the agents.
+func (b *BackendServer) StopReplication() { b.Repl.Stop() }
+
+// SyncReplication performs one synchronous propagation round (deterministic
+// alternative to the background agents).
+func (b *BackendServer) SyncReplication() error { return b.Repl.StepAll() }

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/types"
+)
+
+const shopDDL = `
+	CREATE TABLE customer (
+		cid INT PRIMARY KEY,
+		cname VARCHAR(40) NOT NULL,
+		caddress VARCHAR(80),
+		csegment INT
+	);
+	CREATE TABLE orders (
+		okey INT PRIMARY KEY,
+		ckey INT,
+		total FLOAT
+	);
+	CREATE INDEX ix_orders_ckey ON orders (ckey);
+	CREATE PROCEDURE getCustomer @cid INT AS
+		SELECT cid, cname, caddress FROM customer WHERE cid = @cid;
+	CREATE PROCEDURE newOrder @okey INT, @ckey INT, @total FLOAT AS
+		INSERT INTO orders (okey, ckey, total) VALUES (@okey, @ckey, @total);
+`
+
+func newShop(t *testing.T) *BackendServer {
+	t.Helper()
+	b := NewBackend("backend")
+	if err := b.ExecScript(shopDDL); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3000; i++ {
+		stmt := fmt.Sprintf("INSERT INTO customer (cid, cname, caddress, csegment) VALUES (%d, 'cust%d', 'addr%d', %d)", i, i, i, i%5)
+		if _, err := b.Exec(stmt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 500; i++ {
+		stmt := fmt.Sprintf("INSERT INTO orders (okey, ckey, total) VALUES (%d, %d, %d.25)", i, i%3000+1, i)
+		if _, err := b.Exec(stmt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.DB.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestShadowDatabaseSetup(t *testing.T) {
+	b := newShop(t)
+	c, err := NewCache("cache1", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow tables exist, are empty, and carry backend statistics.
+	ct := c.DB.Catalog().Table("customer")
+	if ct == nil {
+		t.Fatal("shadow table missing")
+	}
+	if c.DB.TableRowCount("customer") != 0 {
+		t.Error("shadow table must be empty")
+	}
+	if ct.Stats.RowCount != 3000 {
+		t.Errorf("shadowed stats: %d", ct.Stats.RowCount)
+	}
+	if len(ct.Indexes) == 0 && len(ct.PrimaryKey) == 0 {
+		t.Error("shadow table lost its key")
+	}
+	// Shadow index on orders.
+	ot := c.DB.Catalog().Table("orders")
+	if len(ot.Indexes) != 1 || !strings.EqualFold(ot.Indexes[0].Name, "ix_orders_ckey") {
+		t.Errorf("shadow indexes: %+v", ot.Indexes)
+	}
+}
+
+func TestCachedViewAutoSubscription(t *testing.T) {
+	b := newShop(t)
+	c, err := NewCache("cache1", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.CreateCachedView(`CREATE CACHED VIEW Cust1000 AS
+		SELECT cid, cname, caddress FROM customer WHERE cid <= 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populated immediately by the subscription snapshot.
+	if got := c.DB.TableRowCount("Cust1000"); got != 1000 {
+		t.Fatalf("view rows after create: %d", got)
+	}
+	if c.Subscription("cust1000") == nil {
+		t.Error("subscription not registered")
+	}
+	// Changes flow through replication.
+	b.Exec("UPDATE customer SET cname = 'updated' WHERE cid = 5", nil)
+	b.Exec("INSERT INTO customer (cid, cname, caddress, csegment) VALUES (10000, 'outside', 'a', 0)", nil)
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := c.Exec("SELECT cname FROM customer WHERE cid = 5", nil)
+	if res.Rows[0][0].Str() != "updated" {
+		t.Error("replicated update not visible through the cache")
+	}
+	if res.Counters.RemoteQueries != 0 {
+		t.Error("query inside the view should be local")
+	}
+}
+
+func TestTransparencySameAppCodeBothConns(t *testing.T) {
+	b := newShop(t)
+	c, _ := NewCache("cache1", b, nil)
+	c.CreateCachedView(`CREATE CACHED VIEW AllCust AS SELECT cid, cname, caddress, csegment FROM customer`)
+	c.CopyProcedure("getCustomer")
+
+	app := func(conn *Conn) (string, error) {
+		res, err := conn.Call("getCustomer", exec.Params{"cid": types.NewInt(42)})
+		if err != nil {
+			return "", err
+		}
+		return res.Rows[0][1].Str(), nil
+	}
+	// Identical application code against backend and cache.
+	viaBackend, err := app(ConnectBackend(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCache, err := app(ConnectCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBackend != viaCache || viaBackend != "cust42" {
+		t.Errorf("results differ: backend=%q cache=%q", viaBackend, viaCache)
+	}
+}
+
+func TestUpdateForwardingAndReplicationRoundTrip(t *testing.T) {
+	b := newShop(t)
+	c, _ := NewCache("cache1", b, nil)
+	c.CreateCachedView(`CREATE CACHED VIEW AllOrders AS SELECT okey, ckey, total FROM orders`)
+
+	// The application writes through the CACHE; the write lands on the
+	// backend and flows back into the cached view via replication.
+	conn := ConnectCache(c)
+	if _, err := conn.Exec("INSERT INTO orders (okey, ckey, total) VALUES (9999, 1, 55.5)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.DB.TableRowCount("orders") != 501 {
+		t.Error("forwarded insert missing on backend")
+	}
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := c.Exec("SELECT total FROM orders WHERE okey = 9999", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 55.5 {
+		t.Fatalf("round trip failed: %v", res.Rows)
+	}
+	if res.Counters.RemoteQueries != 0 {
+		t.Error("read-after-replicate should be local")
+	}
+}
+
+func TestProcedureCopySelective(t *testing.T) {
+	b := newShop(t)
+	c, _ := NewCache("cache1", b, nil)
+	if err := c.CopyAllProceduresExcept("newOrder"); err != nil {
+		t.Fatal(err)
+	}
+	if c.DB.Catalog().Procedure("getCustomer") == nil {
+		t.Error("getCustomer should be copied")
+	}
+	if c.DB.Catalog().Procedure("newOrder") != nil {
+		t.Error("newOrder should be skipped")
+	}
+	// Forwarded call still works transparently.
+	res, err := ConnectCache(c).Call("newOrder", exec.Params{
+		"okey": types.NewInt(777), "ckey": types.NewInt(1), "total": types.NewFloat(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if b.DB.TableRowCount("orders") != 501 {
+		t.Error("forwarded procedure did not run on backend")
+	}
+}
+
+func TestMultipleCaches(t *testing.T) {
+	b := newShop(t)
+	var caches []*CacheServer
+	for i := 0; i < 3; i++ {
+		c, err := NewCache(fmt.Sprintf("cache%d", i), b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.CreateCachedView(`CREATE CACHED VIEW C500 AS SELECT cid, cname FROM customer WHERE cid <= 500`)
+		caches = append(caches, c)
+	}
+	b.Exec("UPDATE customer SET cname = 'fanout' WHERE cid = 100", nil)
+	b.SyncReplication()
+	for i, c := range caches {
+		res, _ := c.Exec("SELECT cname FROM customer WHERE cid = 100", nil)
+		if res.Rows[0][0].Str() != "fanout" {
+			t.Errorf("cache %d did not receive the update", i)
+		}
+	}
+}
+
+func TestBackgroundReplicationLatency(t *testing.T) {
+	b := newShop(t)
+	c, _ := NewCache("cache1", b, nil)
+	c.CreateCachedView(`CREATE CACHED VIEW AllCust AS SELECT cid, cname FROM customer`)
+	b.StartReplication(2*time.Millisecond, 2*time.Millisecond)
+	defer b.StopReplication()
+
+	b.Exec("UPDATE customer SET cname = 'async' WHERE cid = 1", nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		res, _ := c.Exec("SELECT cname FROM customer WHERE cid = 1", nil)
+		if len(res.Rows) == 1 && res.Rows[0][0].Str() == "async" {
+			if b.Repl.Stats.Latency.Count() == 0 {
+				t.Error("latency not recorded")
+			}
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	t.Fatal("async replication did not converge")
+}
+
+func TestCachedViewOverBackendMaterializedView(t *testing.T) {
+	b := newShop(t)
+	// Backend materialized view, maintained synchronously there.
+	if err := b.ExecScript(`CREATE MATERIALIZED VIEW bigspenders AS
+		SELECT okey, ckey, total FROM orders WHERE total >= 250`); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache("cache1", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache subscribes to the backend MV — the paper allows articles over
+	// materialized views (§2.2, §3).
+	if err := c.CreateCachedView(`CREATE CACHED VIEW spenders AS
+		SELECT okey, ckey, total FROM bigspenders`); err != nil {
+		t.Fatal(err)
+	}
+	want := b.DB.TableRowCount("bigspenders")
+	if got := c.DB.TableRowCount("spenders"); got != want {
+		t.Fatalf("cached-over-MV rows: %d want %d", got, want)
+	}
+	// A base-table change updates the backend MV, which replicates onward.
+	b.Exec("INSERT INTO orders (okey, ckey, total) VALUES (8888, 2, 400.0)", nil)
+	b.SyncReplication()
+	if got := c.DB.TableRowCount("spenders"); got != want+1 {
+		t.Fatalf("MV change did not cascade: %d want %d", got, want+1)
+	}
+}
+
+func TestStatsRefresh(t *testing.T) {
+	b := newShop(t)
+	c, _ := NewCache("cache1", b, nil)
+	before := c.DB.Catalog().Table("customer").Stats.RowCount
+	for i := 20000; i < 21000; i++ {
+		b.Exec(fmt.Sprintf("INSERT INTO customer (cid, cname, caddress, csegment) VALUES (%d, 'n', 'a', 1)", i), nil)
+	}
+	b.DB.Analyze()
+	if err := c.RefreshStats(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.DB.Catalog().Table("customer").Stats.RowCount
+	if after != before+1000 {
+		t.Errorf("stats refresh: before=%d after=%d", before, after)
+	}
+}

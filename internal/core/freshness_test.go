@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/types"
+)
+
+// Tests for the WITH FRESHNESS extension — the paper's §7 proposal that a
+// query should be able to declare how stale a result it tolerates, giving
+// the optimizer license to use (or obligation to bypass) cached views.
+
+func freshnessSetup(t *testing.T) (*BackendServer, *CacheServer) {
+	t.Helper()
+	b := newShop(t)
+	c, err := NewCache("cache1", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateCachedView(`CREATE CACHED VIEW AllCust AS
+		SELECT cid, cname, caddress, csegment FROM customer`); err != nil {
+		t.Fatal(err)
+	}
+	return b, c
+}
+
+func TestFreshnessParseAndDeparse(t *testing.T) {
+	_, c := freshnessSetup(t)
+	// The clause must parse and execute.
+	res, err := c.Exec("SELECT cname FROM customer WHERE cid = 1 WITH FRESHNESS 30", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}
+
+func TestFreshnessBoundAllowsFreshView(t *testing.T) {
+	b, c := freshnessSetup(t)
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+	// View just synchronized: staleness ≈ 0 → a generous bound keeps the
+	// query local.
+	res, err := c.Exec("SELECT cname FROM customer WHERE cid = 7 WITH FRESHNESS 60", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 0 {
+		t.Errorf("fresh view within bound should serve locally (remote=%d)", res.Counters.RemoteQueries)
+	}
+}
+
+func TestFreshnessZeroForcesBackend(t *testing.T) {
+	b, c := freshnessSetup(t)
+	b.SyncReplication()
+	// FRESHNESS 0 demands the current state: only the backend has it.
+	res, err := c.Exec("SELECT cname FROM customer WHERE cid = 7 WITH FRESHNESS 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 1 {
+		t.Errorf("FRESHNESS 0 must bypass the cache (remote=%d)", res.Counters.RemoteQueries)
+	}
+}
+
+func TestFreshnessStaleViewRoutesRemoteAndSeesNewData(t *testing.T) {
+	b, c := freshnessSetup(t)
+	b.SyncReplication()
+
+	// Commit a change but do NOT propagate it: the view is now stale.
+	if _, err := b.Exec("UPDATE customer SET cname = 'NEW VALUE' WHERE cid = 7", nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	// Unbounded query: cached (stale) answer is acceptable — paper default.
+	res, err := c.Exec("SELECT cname FROM customer WHERE cid = 7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str() == "NEW VALUE" {
+		t.Fatal("unbounded query should have read the (stale) view")
+	}
+
+	// Tight bound: staleness (≥30 ms, pending txn) exceeds 10 ms → remote,
+	// and the result reflects the un-propagated update.
+	res, err = c.Exec("SELECT cname FROM customer WHERE cid = 7 WITH FRESHNESS 0.01", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 1 {
+		t.Errorf("stale view must be bypassed (remote=%d)", res.Counters.RemoteQueries)
+	}
+	if res.Rows[0][0].Str() != "NEW VALUE" {
+		t.Errorf("backend answer expected, got %q", res.Rows[0][0].Str())
+	}
+
+	// After propagation the same bounded query is local again.
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Exec("SELECT cname FROM customer WHERE cid = 7 WITH FRESHNESS 60", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 0 || res.Rows[0][0].Str() != "NEW VALUE" {
+		t.Errorf("post-sync bounded query: remote=%d value=%q",
+			res.Counters.RemoteQueries, res.Rows[0][0].Str())
+	}
+}
+
+func TestFreshnessParameterizedBound(t *testing.T) {
+	b, c := freshnessSetup(t)
+	b.SyncReplication()
+	res, err := c.Exec("SELECT cname FROM customer WHERE cid = 3 WITH FRESHNESS @f",
+		exec.Params{"f": types.NewFloat(120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 0 {
+		t.Errorf("parameterized generous bound should stay local (remote=%d)", res.Counters.RemoteQueries)
+	}
+	res, err = c.Exec("SELECT cname FROM customer WHERE cid = 3 WITH FRESHNESS @f",
+		exec.Params{"f": types.NewFloat(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 1 {
+		t.Errorf("parameterized zero bound should go remote (remote=%d)", res.Counters.RemoteQueries)
+	}
+}
+
+func TestFreshnessNegativeRejected(t *testing.T) {
+	_, c := freshnessSetup(t)
+	if _, err := c.Exec("SELECT cname FROM customer WHERE cid = 1 WITH FRESHNESS -5", nil); err == nil {
+		t.Fatal("negative freshness bound must be rejected")
+	}
+}
+
+func TestViewStalenessReporting(t *testing.T) {
+	b, c := freshnessSetup(t)
+	b.SyncReplication()
+	s, ok := c.ViewStaleness("AllCust")
+	if !ok {
+		t.Fatal("staleness unavailable")
+	}
+	if s < 0 || s > 5*time.Second {
+		t.Errorf("staleness implausible: %v", s)
+	}
+	if _, ok := c.ViewStaleness("nosuchview"); ok {
+		t.Error("unknown view should report no staleness")
+	}
+}

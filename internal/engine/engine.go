@@ -1,0 +1,379 @@
+// Package engine binds the parser, catalog, storage, optimizer and executor
+// into a Database: the unit that plays either the backend server or an
+// MTCache server. The engine implements:
+//
+//   - DDL: CREATE TABLE / INDEX / VIEW / MATERIALIZED VIEW / PROCEDURE, DROP;
+//   - DML: INSERT / UPDATE / DELETE — executed locally on a backend, and
+//     transparently forwarded to the backend on a cache (paper §5: "all
+//     insert, delete and update requests against a shadow table are
+//     immediately converted to remote ... and forwarded");
+//   - queries through the cost-based optimizer with a plan cache — dynamic
+//     plans make the cache effective for parameterized queries because one
+//     cached plan serves all parameter values (paper §5.1);
+//   - stored procedures: run locally when present, transparently forwarded
+//     otherwise (paper §5.2);
+//   - synchronous maintenance of local materialized views, so backend MVs
+//     stay consistent within the updating transaction and their changes are
+//     visible to the replication log reader.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/exec"
+	"mtcache/internal/opt"
+	"mtcache/internal/sql"
+	"mtcache/internal/storage"
+	"mtcache/internal/types"
+)
+
+// Role distinguishes backend databases from mid-tier caches.
+type Role uint8
+
+const (
+	// Backend holds the authoritative data.
+	Backend Role = iota
+	// Cache is an MTCache shadow database: empty shadow tables plus cached
+	// views maintained by replication.
+	Cache
+)
+
+// Database is one database server instance (backend or cache).
+type Database struct {
+	Name string
+
+	cat   *catalog.Catalog
+	store *storage.Store
+	role  Role
+	opts  opt.Options
+
+	// remote is the linked backend server (cache role only).
+	remote exec.RemoteClient
+
+	planMu    sync.Mutex
+	planCache map[string]*opt.Plan
+
+	// onCachedViewCreate is invoked when CREATE CACHED VIEW runs, so the
+	// MTCache layer can provision the replication subscription (paper §4).
+	onCachedViewCreate func(view *catalog.Table) error
+
+	// stalenessOf reports a cached view's replication staleness in seconds
+	// (wired by the MTCache layer); it backs WITH FRESHNESS queries.
+	stalenessOf func(view string) (float64, bool)
+}
+
+// Config configures a new Database.
+type Config struct {
+	Name    string
+	Role    Role
+	Remote  exec.RemoteClient // backend link; required for Cache role
+	Options *opt.Options      // nil = opt.DefaultOptions
+}
+
+// New creates an empty database.
+func New(cfg Config) *Database {
+	opts := opt.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	return &Database{
+		Name:      cfg.Name,
+		cat:       catalog.New(),
+		store:     storage.NewStore(),
+		role:      cfg.Role,
+		opts:      opts,
+		remote:    cfg.Remote,
+		planCache: make(map[string]*opt.Plan),
+	}
+}
+
+// Catalog exposes the catalog (read-mostly; DDL goes through Exec).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Store exposes the storage manager (used by replication and tests).
+func (db *Database) Store() *storage.Store { return db.store }
+
+// Role returns the database role.
+func (db *Database) Role() Role { return db.role }
+
+// SetRemote installs the backend link on a cache.
+func (db *Database) SetRemote(rc exec.RemoteClient) { db.remote = rc }
+
+// SetOptions replaces the optimizer options and clears the plan cache.
+func (db *Database) SetOptions(o opt.Options) {
+	db.opts = o
+	db.InvalidatePlans()
+}
+
+// Options returns the current optimizer options.
+func (db *Database) Options() opt.Options { return db.opts }
+
+// OnCachedViewCreate registers the cached-view provisioning hook.
+func (db *Database) OnCachedViewCreate(fn func(view *catalog.Table) error) {
+	db.onCachedViewCreate = fn
+}
+
+// SetStalenessProbe wires the per-view staleness source used by
+// WITH FRESHNESS queries.
+func (db *Database) SetStalenessProbe(fn func(view string) (float64, bool)) {
+	db.stalenessOf = fn
+}
+
+// InvalidatePlans clears the plan cache (after DDL or stats refresh).
+func (db *Database) InvalidatePlans() {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
+	db.planCache = make(map[string]*opt.Plan)
+}
+
+func (db *Database) env() *opt.Env {
+	return &opt.Env{Cat: db.cat, IsCache: db.role == Cache, Opts: db.opts, Staleness: db.stalenessOf}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Set for queries.
+	Cols []exec.ColInfo
+	Rows []types.Row
+
+	// Set for DML.
+	RowsAffected int64
+
+	// Executor work counters (local to this server).
+	Counters exec.Counters
+}
+
+// Exec parses and executes one SQL statement (query, DML or DDL).
+func (db *Database) Exec(sqlText string, params exec.Params) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt, params)
+}
+
+// ExecScript executes a multi-statement script, stopping on the first error.
+func (db *Database) ExecScript(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, err := db.ExecStmt(s, nil); err != nil {
+			return fmt.Errorf("engine: %s: %w", sql.Deparse(s), err)
+		}
+	}
+	return nil
+}
+
+// ExecStmt executes a parsed statement.
+func (db *Database) ExecStmt(stmt sql.Statement, params exec.Params) (*Result, error) {
+	switch x := stmt.(type) {
+	case *sql.SelectStmt:
+		return db.Query(x, params)
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		return db.execDML(stmt, params)
+	case *sql.CreateTableStmt:
+		return db.execCreateTable(x)
+	case *sql.CreateIndexStmt:
+		return db.execCreateIndex(x)
+	case *sql.CreateViewStmt:
+		return db.execCreateView(x)
+	case *sql.CreateProcStmt:
+		return db.execCreateProc(x, sql.Deparse(x))
+	case *sql.ExecStmt:
+		return db.execProcCall(x, params)
+	case *sql.DropStmt:
+		return db.execDrop(x)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// Query plans (with caching) and runs a SELECT. Queries carrying a
+// WITH FRESHNESS clause are planned per execution against the views'
+// current staleness, so they bypass the plan cache.
+func (db *Database) Query(stmt *sql.SelectStmt, params exec.Params) (*Result, error) {
+	if stmt.Freshness != nil {
+		plan, err := db.planWithFreshness(stmt, params)
+		if err != nil {
+			return nil, err
+		}
+		return db.RunPlan(plan, params)
+	}
+	plan, err := db.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunPlan(plan, params)
+}
+
+// planWithFreshness optimizes under the query's declared staleness bound.
+func (db *Database) planWithFreshness(stmt *sql.SelectStmt, params exec.Params) (*opt.Plan, error) {
+	bound, err := opt.CompileScalar(stmt.Freshness, nil)
+	if err != nil {
+		return nil, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
+	}
+	v, err := bound.Eval(nil, params)
+	if err != nil {
+		return nil, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
+	}
+	if v.IsNull() || v.Float() < 0 {
+		return nil, fmt.Errorf("engine: WITH FRESHNESS requires a non-negative number of seconds")
+	}
+	env := db.env()
+	env.HasFreshness = true
+	env.MaxStaleness = v.Float()
+	return opt.Optimize(stmt, env)
+}
+
+// Plan returns the (possibly cached) plan for a SELECT. The cache key is the
+// deparsed text, so the same parameterized statement reuses its dynamic plan
+// instead of reoptimizing (paper §5.1: dynamic plans "avoid the need for
+// frequent reoptimization").
+func (db *Database) Plan(stmt *sql.SelectStmt) (*opt.Plan, error) {
+	key := sql.Deparse(stmt)
+	db.planMu.Lock()
+	if p, ok := db.planCache[key]; ok {
+		db.planMu.Unlock()
+		return p, nil
+	}
+	db.planMu.Unlock()
+	p, err := opt.Optimize(stmt, db.env())
+	if err != nil {
+		return nil, err
+	}
+	db.planMu.Lock()
+	db.planCache[key] = p
+	db.planMu.Unlock()
+	return p, nil
+}
+
+// PlanCacheSize reports the number of cached plans.
+func (db *Database) PlanCacheSize() int {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
+	return len(db.planCache)
+}
+
+// RunPlan executes a previously produced plan. The operator tree is cloned
+// per execution: cached plans are shared across sessions, and operators
+// carry per-run state (cursors, hash tables).
+func (db *Database) RunPlan(plan *opt.Plan, params exec.Params) (*Result, error) {
+	tx := db.store.Begin(false)
+	defer tx.Abort()
+	res := &Result{}
+	ctx := &exec.Ctx{Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters}
+	rs, err := exec.Run(exec.CloneOperator(plan.Root), ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Cols = rs.Cols
+	res.Rows = rs.Rows
+	return res, nil
+}
+
+// Explain returns the optimizer's plan description for a query.
+func (db *Database) Explain(query string) (string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("engine: EXPLAIN supports only SELECT")
+	}
+	p, err := opt.Optimize(sel, db.env())
+	if err != nil {
+		return "", err
+	}
+	return opt.Explain(p), nil
+}
+
+// AnalyzeTable recomputes optimizer statistics for one table from its
+// current contents.
+func (db *Database) AnalyzeTable(name string) error {
+	t := db.cat.Table(name)
+	if t == nil {
+		return fmt.Errorf("engine: table %s does not exist", name)
+	}
+	tx := db.store.Begin(false)
+	td := tx.Table(name)
+	if td == nil {
+		tx.Abort()
+		return fmt.Errorf("engine: no storage for %s", name)
+	}
+	rows := td.Rows()
+	tx.Abort()
+	t.Stats = catalog.BuildTableStats(t.ColumnNames(), rows)
+	db.InvalidatePlans()
+	return nil
+}
+
+// Analyze refreshes statistics for every stored table.
+func (db *Database) Analyze() error {
+	for _, t := range db.cat.Tables() {
+		if t.IsView && !t.Materialized {
+			continue
+		}
+		if db.store.Table(t.Name) == nil {
+			continue
+		}
+		if err := db.AnalyzeTable(t.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkLoad inserts rows directly into a table in one unlogged transaction.
+// It is the data-loading path: initial populations are not replicated (the
+// replication snapshot covers them), and bypassing SQL parsing makes
+// benchmark-scale loads fast. Values are cast to the column types.
+func (db *Database) BulkLoad(table string, rows []types.Row) error {
+	t := db.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("engine: table %s does not exist", table)
+	}
+	tx := db.store.Begin(true)
+	for _, row := range rows {
+		if len(row) != len(t.Columns) {
+			tx.Abort()
+			return fmt.Errorf("engine: %s: row width %d != %d columns", table, len(row), len(t.Columns))
+		}
+		cast := make(types.Row, len(row))
+		for i, v := range row {
+			cv, err := v.Cast(t.Columns[i].Type)
+			if err != nil {
+				tx.Abort()
+				return fmt.Errorf("engine: %s column %s: %w", table, t.Columns[i].Name, err)
+			}
+			cast[i] = cv
+		}
+		if _, err := tx.Insert(table, cast); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := db.maintainViews(tx, t, storage.OpInsert, nil, cast); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.CommitUnlogged()
+}
+
+// TableRowCount returns the stored row count (0 if no storage).
+func (db *Database) TableRowCount(name string) int {
+	tx := db.store.Begin(false)
+	defer tx.Abort()
+	td := tx.Table(name)
+	if td == nil {
+		return 0
+	}
+	return td.Count()
+}
+
+// strEqualFold is a tiny helper used across the engine.
+func strEqualFold(a, b string) bool { return strings.EqualFold(a, b) }

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+
+	"mtcache/internal/exec"
+)
+
+// Link is an in-process linked-server connection: it lets one Database act
+// as the remote executor for another (the cache's backend link). The TCP
+// transport in internal/wire implements the same exec.RemoteClient interface
+// for cross-process deployments; the engine cannot tell them apart.
+type Link struct {
+	db *Database
+}
+
+// NewLink wraps a database as a linked server.
+func NewLink(db *Database) *Link { return &Link{db: db} }
+
+// Query executes SQL text expected to return rows (SELECT or EXEC).
+func (l *Link) Query(sqlText string, params exec.Params) (*exec.ResultSet, error) {
+	res, err := l.db.Exec(sqlText, params)
+	if err != nil {
+		return nil, fmt.Errorf("link(%s): %w", l.db.Name, err)
+	}
+	return &exec.ResultSet{Cols: res.Cols, Rows: res.Rows}, nil
+}
+
+// Exec executes SQL text for its side effects (forwarded DML).
+func (l *Link) Exec(sqlText string, params exec.Params) (int64, error) {
+	res, err := l.db.Exec(sqlText, params)
+	if err != nil {
+		return 0, fmt.Errorf("link(%s): %w", l.db.Name, err)
+	}
+	return res.RowsAffected, nil
+}

@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"fmt"
+
+	"mtcache/internal/types"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+const (
+	AggCount AggFunc = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// ParseAggFunc maps a function name (upper case) to an AggFunc.
+// star selects COUNT(*) vs COUNT(expr).
+func ParseAggFunc(name string, star bool) (AggFunc, bool) {
+	switch name {
+	case "COUNT":
+		if star {
+			return AggCountStar, true
+		}
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     AggFunc
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	allInt  bool
+	min     types.Value
+	max     types.Value
+	started bool
+	seen    map[uint64][]types.Value // for DISTINCT
+}
+
+func newAggState() *aggState { return &aggState{allInt: true} }
+
+func (a *aggState) add(spec AggSpec, v types.Value) {
+	if spec.Func != AggCountStar && v.IsNull() {
+		return // SQL aggregates ignore NULLs
+	}
+	if spec.Distinct {
+		if a.seen == nil {
+			a.seen = make(map[uint64][]types.Value)
+		}
+		h := v.Hash()
+		for _, prev := range a.seen[h] {
+			if types.Equal(prev, v) {
+				return
+			}
+		}
+		a.seen[h] = append(a.seen[h], v)
+	}
+	a.count++
+	switch spec.Func {
+	case AggSum, AggAvg:
+		if v.K == types.KindInt {
+			a.sumInt += v.I
+		} else {
+			a.allInt = false
+		}
+		a.sum += v.Float()
+	case AggMin:
+		if !a.started || types.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case AggMax:
+		if !a.started || types.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.started = true
+}
+
+func (a *aggState) result(spec AggSpec) types.Value {
+	switch spec.Func {
+	case AggCount, AggCountStar:
+		return types.NewInt(a.count)
+	case AggSum:
+		if a.count == 0 {
+			return types.Null
+		}
+		if a.allInt {
+			return types.NewInt(a.sumInt)
+		}
+		return types.NewFloat(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sum / float64(a.count))
+	case AggMin:
+		if !a.started {
+			return types.Null
+		}
+		return a.min
+	case AggMax:
+		if !a.started {
+			return types.Null
+		}
+		return a.max
+	}
+	return types.Null
+}
+
+// HashAgg groups its input by the GroupBy expressions and computes the
+// aggregates. Output rows are [group keys..., agg results...].
+// With no GroupBy the output is a single global-aggregate row.
+type HashAgg struct {
+	Input   Operator
+	GroupBy []Expr
+	Aggs    []AggSpec
+	Cols    []ColInfo
+
+	out []types.Row
+	pos int
+}
+
+func (h *HashAgg) Columns() []ColInfo { return h.Cols }
+
+func (h *HashAgg) Open(ctx *Ctx) error {
+	if err := h.Input.Open(ctx); err != nil {
+		return err
+	}
+	type group struct {
+		keys   types.Row
+		states []*aggState
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group
+	newGroup := func(keys types.Row) *group {
+		g := &group{keys: keys, states: make([]*aggState, len(h.Aggs))}
+		for i := range g.states {
+			g.states[i] = newAggState()
+		}
+		order = append(order, g)
+		return g
+	}
+	if len(h.GroupBy) == 0 {
+		// Global aggregate: one group exists even with zero input rows.
+		// Register it under the empty row's hash so per-row lookups find it.
+		groups[(types.Row{}).Hash()] = []*group{newGroup(types.Row{})}
+	}
+	for {
+		row, err := h.Input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys := make(types.Row, len(h.GroupBy))
+		for i, e := range h.GroupBy {
+			v, err := e.Eval(row, ctx.Params)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		hash := keys.Hash()
+		var g *group
+		for _, cand := range groups[hash] {
+			if types.RowsEqual(cand.keys, keys) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = newGroup(keys)
+			groups[hash] = append(groups[hash], g)
+		}
+		for i, spec := range h.Aggs {
+			var v types.Value
+			if spec.Arg != nil {
+				v, err = spec.Arg.Eval(row, ctx.Params)
+				if err != nil {
+					return err
+				}
+			}
+			g.states[i].add(spec, v)
+		}
+	}
+	h.Input.Close()
+	h.out = h.out[:0]
+	for _, g := range order {
+		row := make(types.Row, 0, len(g.keys)+len(h.Aggs))
+		row = append(row, g.keys...)
+		for i, spec := range h.Aggs {
+			row = append(row, g.states[i].result(spec))
+		}
+		h.out = append(h.out, row)
+	}
+	h.pos = 0
+	return nil
+}
+
+func (h *HashAgg) Next(*Ctx) (types.Row, error) {
+	if h.pos >= len(h.out) {
+		return nil, nil
+	}
+	row := h.out[h.pos]
+	h.pos++
+	return row, nil
+}
+
+func (h *HashAgg) Close() error {
+	h.out = nil
+	return nil
+}
+
+// ValidateAggShape sanity-checks an AggSpec list against the operator's
+// declared columns; used by plan construction tests.
+func (h *HashAgg) ValidateAggShape() error {
+	want := len(h.GroupBy) + len(h.Aggs)
+	if len(h.Cols) != want {
+		return fmt.Errorf("exec: HashAgg declares %d columns, computes %d", len(h.Cols), want)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package exec
+
+import "fmt"
+
+// CloneOperator deep-copies an operator tree's structure, leaving runtime
+// state (cursors, hash tables, buffers) fresh. Compiled expressions are
+// immutable and shared.
+//
+// This is what makes the engine's plan cache safe: a cached plan may be
+// executed by many sessions concurrently, so each execution runs a private
+// clone of the operator tree.
+func CloneOperator(op Operator) Operator {
+	switch x := op.(type) {
+	case *Scan:
+		return &Scan{TableName: x.TableName, Cols: x.Cols}
+	case *IndexScan:
+		return &IndexScan{TableName: x.TableName, IndexName: x.IndexName, Cols: x.Cols, Lo: x.Lo, Hi: x.Hi}
+	case *Filter:
+		return &Filter{Input: CloneOperator(x.Input), Pred: x.Pred}
+	case *StartupFilter:
+		return &StartupFilter{Input: CloneOperator(x.Input), Guard: x.Guard}
+	case *Project:
+		return &Project{Input: CloneOperator(x.Input), Exprs: x.Exprs, Cols: x.Cols}
+	case *Limit:
+		return &Limit{Input: CloneOperator(x.Input), N: x.N}
+	case *Sort:
+		return &Sort{Input: CloneOperator(x.Input), Keys: x.Keys}
+	case *Distinct:
+		return &Distinct{Input: CloneOperator(x.Input)}
+	case *HashJoin:
+		return &HashJoin{
+			Left: CloneOperator(x.Left), Right: CloneOperator(x.Right),
+			LeftKeys: x.LeftKeys, RightKeys: x.RightKeys,
+			LeftOuter: x.LeftOuter, Residual: x.Residual,
+		}
+	case *NestedLoop:
+		return &NestedLoop{
+			Left: CloneOperator(x.Left), Right: CloneOperator(x.Right),
+			Pred: x.Pred, LeftOuter: x.LeftOuter,
+		}
+	case *UnionAll:
+		inputs := make([]Operator, len(x.Inputs))
+		for i, in := range x.Inputs {
+			inputs[i] = CloneOperator(in)
+		}
+		return &UnionAll{Inputs: inputs}
+	case *HashAgg:
+		return &HashAgg{Input: CloneOperator(x.Input), GroupBy: x.GroupBy, Aggs: x.Aggs, Cols: x.Cols}
+	case *Remote:
+		return &Remote{SQLText: x.SQLText, Cols: x.Cols}
+	case *Values:
+		return &Values{Cols: x.Cols, Rows: x.Rows}
+	}
+	panic(fmt.Sprintf("exec: CloneOperator: unknown operator %T", op))
+}

@@ -1,0 +1,469 @@
+// Package exec implements the Volcano-style iterator executor. Plans are
+// trees of Operators; expressions are compiled from the SQL AST into a
+// compact evaluable form with column references resolved to ordinals.
+//
+// Two operators here are the paper's additions to the executor:
+//
+//   - StartupFilter: a Select whose predicate references only parameters and
+//     is evaluated once at Open; if false, the input is never opened. A
+//     UnionAll over two StartupFilters with complementary guards is exactly
+//     the paper's ChoosePlan implementation (§5.1, figure 2b).
+//   - Remote: the DataTransfer operator. It ships a deparsed SQL text to the
+//     backend through a RemoteClient and streams the result rows back.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"mtcache/internal/sql"
+	"mtcache/internal/types"
+)
+
+// Params carries the run-time parameter values of a query.
+type Params map[string]types.Value
+
+// Expr is a compiled scalar expression.
+type Expr interface {
+	Eval(row types.Row, p Params) (types.Value, error)
+}
+
+// ColExpr reads column i of the input row.
+type ColExpr struct{ I int }
+
+// ConstExpr is a literal.
+type ConstExpr struct{ V types.Value }
+
+// ParamExpr reads a named parameter.
+type ParamExpr struct{ Name string }
+
+// BinExpr applies a binary operator with SQL NULL semantics.
+type BinExpr struct {
+	Op   sql.BinOp
+	L, R Expr
+}
+
+// NotExpr negates a boolean (three-valued).
+type NotExpr struct{ X Expr }
+
+// NegExpr is unary minus.
+type NegExpr struct{ X Expr }
+
+// LikeMatch is x LIKE pattern (compiled; pattern may be dynamic).
+type LikeMatch struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// InMatch is x IN (list).
+type InMatch struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// BetweenMatch is x BETWEEN lo AND hi.
+type BetweenMatch struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// IsNullMatch is x IS [NOT] NULL.
+type IsNullMatch struct {
+	X   Expr
+	Not bool
+}
+
+// CaseMatch is CASE WHEN ... THEN ... ELSE ... END.
+type CaseMatch struct {
+	Whens []struct{ Cond, Then Expr }
+	Else  Expr
+}
+
+// ScalarFunc is a non-aggregate function call.
+type ScalarFunc struct {
+	Name string
+	Args []Expr
+}
+
+func (e *ColExpr) Eval(row types.Row, _ Params) (types.Value, error) {
+	if e.I < 0 || e.I >= len(row) {
+		return types.Null, fmt.Errorf("exec: column ordinal %d out of range (row width %d)", e.I, len(row))
+	}
+	return row[e.I], nil
+}
+
+func (e *ConstExpr) Eval(types.Row, Params) (types.Value, error) { return e.V, nil }
+
+func (e *ParamExpr) Eval(_ types.Row, p Params) (types.Value, error) {
+	v, ok := p[e.Name]
+	if !ok {
+		return types.Null, fmt.Errorf("exec: missing parameter @%s", e.Name)
+	}
+	return v, nil
+}
+
+func (e *BinExpr) Eval(row types.Row, p Params) (types.Value, error) {
+	// AND/OR need Kleene logic and short-circuiting.
+	if e.Op == sql.OpAnd || e.Op == sql.OpOr {
+		return e.evalLogic(row, p)
+	}
+	l, err := e.L.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := e.R.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	if e.Op.IsComparison() {
+		c := types.Compare(l, r)
+		var b bool
+		switch e.Op {
+		case sql.OpEQ:
+			b = c == 0
+		case sql.OpNE:
+			b = c != 0
+		case sql.OpLT:
+			b = c < 0
+		case sql.OpLE:
+			b = c <= 0
+		case sql.OpGT:
+			b = c > 0
+		case sql.OpGE:
+			b = c >= 0
+		}
+		return types.NewBool(b), nil
+	}
+	return evalArith(e.Op, l, r)
+}
+
+func (e *BinExpr) evalLogic(row types.Row, p Params) (types.Value, error) {
+	l, err := e.L.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	if e.Op == sql.OpAnd {
+		if !l.IsNull() && !l.Bool() {
+			return types.NewBool(false), nil
+		}
+	} else {
+		if !l.IsNull() && l.Bool() {
+			return types.NewBool(true), nil
+		}
+	}
+	r, err := e.R.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	if e.Op == sql.OpAnd {
+		switch {
+		case !r.IsNull() && !r.Bool():
+			return types.NewBool(false), nil
+		case l.IsNull() || r.IsNull():
+			return types.Null, nil
+		default:
+			return types.NewBool(true), nil
+		}
+	}
+	switch {
+	case !r.IsNull() && r.Bool():
+		return types.NewBool(true), nil
+	case l.IsNull() || r.IsNull():
+		return types.Null, nil
+	default:
+		return types.NewBool(false), nil
+	}
+}
+
+func evalArith(op sql.BinOp, l, r types.Value) (types.Value, error) {
+	// String concatenation with +.
+	if op == sql.OpAdd && l.K == types.KindString && r.K == types.KindString {
+		return types.NewString(l.S + r.S), nil
+	}
+	bothInt := l.K == types.KindInt && r.K == types.KindInt
+	if bothInt {
+		a, b := l.I, r.I
+		switch op {
+		case sql.OpAdd:
+			return types.NewInt(a + b), nil
+		case sql.OpSub:
+			return types.NewInt(a - b), nil
+		case sql.OpMul:
+			return types.NewInt(a * b), nil
+		case sql.OpDiv:
+			if b == 0 {
+				return types.Null, fmt.Errorf("exec: division by zero")
+			}
+			return types.NewInt(a / b), nil
+		case sql.OpMod:
+			if b == 0 {
+				return types.Null, fmt.Errorf("exec: division by zero")
+			}
+			return types.NewInt(a % b), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch op {
+	case sql.OpAdd:
+		return types.NewFloat(a + b), nil
+	case sql.OpSub:
+		return types.NewFloat(a - b), nil
+	case sql.OpMul:
+		return types.NewFloat(a * b), nil
+	case sql.OpDiv:
+		if b == 0 {
+			return types.Null, fmt.Errorf("exec: division by zero")
+		}
+		return types.NewFloat(a / b), nil
+	case sql.OpMod:
+		if b == 0 {
+			return types.Null, fmt.Errorf("exec: division by zero")
+		}
+		return types.NewFloat(float64(int64(a) % int64(b))), nil
+	}
+	return types.Null, fmt.Errorf("exec: unsupported arithmetic on %s", op)
+}
+
+func (e *NotExpr) Eval(row types.Row, p Params) (types.Value, error) {
+	v, err := e.X.Eval(row, p)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	return types.NewBool(!v.Bool()), nil
+}
+
+func (e *NegExpr) Eval(row types.Row, p Params) (types.Value, error) {
+	v, err := e.X.Eval(row, p)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	switch v.K {
+	case types.KindInt:
+		return types.NewInt(-v.I), nil
+	case types.KindFloat:
+		return types.NewFloat(-v.F), nil
+	}
+	return types.Null, fmt.Errorf("exec: cannot negate %s", v.K)
+}
+
+func (e *LikeMatch) Eval(row types.Row, p Params) (types.Value, error) {
+	x, err := e.X.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	pat, err := e.Pattern.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.IsNull() || pat.IsNull() {
+		return types.Null, nil
+	}
+	m := likeMatch(x.Display(), pat.Display())
+	if e.Not {
+		m = !m
+	}
+	return types.NewBool(m), nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively
+// (matching SQL Server's default collation behaviour).
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func (e *InMatch) Eval(row types.Row, p Params) (types.Value, error) {
+	x, err := e.X.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.IsNull() {
+		return types.Null, nil
+	}
+	sawNull := false
+	for _, le := range e.List {
+		v, err := le.Eval(row, p)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if types.Equal(x, v) {
+			return types.NewBool(!e.Not), nil
+		}
+	}
+	if sawNull {
+		return types.Null, nil
+	}
+	return types.NewBool(e.Not), nil
+}
+
+func (e *BetweenMatch) Eval(row types.Row, p Params) (types.Value, error) {
+	x, err := e.X.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	lo, err := e.Lo.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	hi, err := e.Hi.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.IsNull() || lo.IsNull() || hi.IsNull() {
+		return types.Null, nil
+	}
+	in := types.Compare(x, lo) >= 0 && types.Compare(x, hi) <= 0
+	if e.Not {
+		in = !in
+	}
+	return types.NewBool(in), nil
+}
+
+func (e *IsNullMatch) Eval(row types.Row, p Params) (types.Value, error) {
+	v, err := e.X.Eval(row, p)
+	if err != nil {
+		return types.Null, err
+	}
+	isNull := v.IsNull()
+	if e.Not {
+		isNull = !isNull
+	}
+	return types.NewBool(isNull), nil
+}
+
+func (e *CaseMatch) Eval(row types.Row, p Params) (types.Value, error) {
+	for _, w := range e.Whens {
+		c, err := w.Cond.Eval(row, p)
+		if err != nil {
+			return types.Null, err
+		}
+		if !c.IsNull() && c.Bool() {
+			return w.Then.Eval(row, p)
+		}
+	}
+	if e.Else != nil {
+		return e.Else.Eval(row, p)
+	}
+	return types.Null, nil
+}
+
+func (e *ScalarFunc) Eval(row types.Row, p Params) (types.Value, error) {
+	args := make([]types.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(row, p)
+		if err != nil {
+			return types.Null, err
+		}
+		args[i] = v
+	}
+	switch e.Name {
+	case "UPPER":
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		return types.NewString(strings.ToUpper(args[0].Display())), nil
+	case "LOWER":
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		return types.NewString(strings.ToLower(args[0].Display())), nil
+	case "LEN", "LENGTH":
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		return types.NewInt(int64(len(args[0].Display()))), nil
+	case "ABS":
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		if args[0].K == types.KindInt {
+			if args[0].I < 0 {
+				return types.NewInt(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		f := args[0].Float()
+		if f < 0 {
+			f = -f
+		}
+		return types.NewFloat(f), nil
+	case "SUBSTRING":
+		if len(args) != 3 || args[0].IsNull() {
+			return types.Null, nil
+		}
+		s := args[0].Display()
+		start := int(args[1].Int()) - 1 // SQL is 1-based
+		n := int(args[2].Int())
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		end := start + n
+		if end > len(s) {
+			end = len(s)
+		}
+		return types.NewString(s[start:end]), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return types.Null, nil
+	}
+	return types.Null, fmt.Errorf("exec: unknown function %s", e.Name)
+}
+
+// EvalBool evaluates a predicate; NULL counts as false (SQL filter
+// semantics).
+func EvalBool(e Expr, row types.Row, p Params) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := e.Eval(row, p)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

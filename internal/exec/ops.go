@@ -1,0 +1,788 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mtcache/internal/storage"
+	"mtcache/internal/types"
+)
+
+// ColInfo describes one output column of an operator.
+type ColInfo struct {
+	Table string // alias or table name, "" for computed columns
+	Name  string
+	Kind  types.Kind
+}
+
+// ResultSet is a fully materialized query result.
+type ResultSet struct {
+	Cols []ColInfo
+	Rows []types.Row
+}
+
+// RemoteClient executes SQL on a linked server. The Remote operator uses
+// Query; the engine's update forwarding uses Exec.
+type RemoteClient interface {
+	Query(sqlText string, params Params) (*ResultSet, error)
+	Exec(sqlText string, params Params) (int64, error)
+}
+
+// Counters accumulates executor work for cost accounting and tests.
+type Counters struct {
+	RowsScanned   int64 // rows read from local heaps and indexes
+	RowsRemote    int64 // rows received from the backend
+	RemoteQueries int64 // DataTransfer activations
+	StartupPruned int64 // startup filters whose input was never opened
+}
+
+// Ctx is the per-execution context.
+type Ctx struct {
+	Params   Params
+	Txn      *storage.Txn
+	Remote   RemoteClient
+	Counters *Counters
+}
+
+// Operator is a Volcano iterator.
+type Operator interface {
+	Columns() []ColInfo
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (types.Row, error) // (nil, nil) signals end of stream
+	Close() error
+}
+
+// Run drains an operator into a ResultSet.
+func Run(op Operator, ctx *Ctx) (*ResultSet, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	rs := &ResultSet{Cols: op.Columns()}
+	for {
+		row, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rs, nil
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+}
+
+// ---------------------------------------------------------------- Scan
+
+// Scan is a full table scan.
+type Scan struct {
+	TableName string
+	Cols      []ColInfo
+
+	td  *storage.TableData
+	pos int
+	cap int
+}
+
+func (s *Scan) Columns() []ColInfo { return s.Cols }
+
+func (s *Scan) Open(ctx *Ctx) error {
+	s.td = ctx.Txn.Table(s.TableName)
+	if s.td == nil {
+		return fmt.Errorf("exec: table %s does not exist", s.TableName)
+	}
+	s.pos = 0
+	s.cap = s.td.Cap()
+	return nil
+}
+
+func (s *Scan) Next(ctx *Ctx) (types.Row, error) {
+	for s.pos < s.cap {
+		row := s.td.At(s.pos)
+		s.pos++
+		if row != nil {
+			if ctx.Counters != nil {
+				ctx.Counters.RowsScanned++
+			}
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+func (s *Scan) Close() error { s.td = nil; return nil }
+
+// ---------------------------------------------------------------- IndexScan
+
+// IndexScan reads rows through an index, optionally bounded. Bounds are
+// expressions evaluated at Open so parameterized seeks work; both bounds are
+// inclusive (strict bounds carry a residual Filter above).
+type IndexScan struct {
+	TableName string
+	IndexName string // "__pk" for the primary key index
+	Cols      []ColInfo
+	Lo, Hi    []Expr // prefix bounds; nil slices mean unbounded
+
+	rids []storage.RowID
+	td   *storage.TableData
+	pos  int
+}
+
+func (s *IndexScan) Columns() []ColInfo { return s.Cols }
+
+func (s *IndexScan) Open(ctx *Ctx) error {
+	s.td = ctx.Txn.Table(s.TableName)
+	if s.td == nil {
+		return fmt.Errorf("exec: table %s does not exist", s.TableName)
+	}
+	tree := s.td.Index(s.IndexName)
+	if tree == nil {
+		return fmt.Errorf("exec: index %s on %s does not exist", s.IndexName, s.TableName)
+	}
+	lo, err := evalBound(s.Lo, ctx)
+	if err != nil {
+		return err
+	}
+	hi, err := evalBound(s.Hi, ctx)
+	if err != nil {
+		return err
+	}
+	s.rids = s.rids[:0]
+	collect := func(it storage.Item) bool {
+		s.rids = append(s.rids, it.RID)
+		return true
+	}
+	switch {
+	case lo != nil && hi != nil:
+		tree.AscendRange(lo, hi, collect)
+	case lo != nil:
+		tree.AscendGE(lo, collect)
+	default:
+		tree.Ascend(collect)
+		if hi != nil {
+			// unreachable in practice: planner always sets lo when hi is set
+			filtered := s.rids[:0]
+			for _, rid := range s.rids {
+				filtered = append(filtered, rid)
+			}
+			s.rids = filtered
+		}
+	}
+	s.pos = 0
+	return nil
+}
+
+func evalBound(bound []Expr, ctx *Ctx) (types.Row, error) {
+	if bound == nil {
+		return nil, nil
+	}
+	row := make(types.Row, len(bound))
+	for i, e := range bound {
+		v, err := e.Eval(nil, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (s *IndexScan) Next(ctx *Ctx) (types.Row, error) {
+	for s.pos < len(s.rids) {
+		row := s.td.Get(s.rids[s.pos])
+		s.pos++
+		if row != nil {
+			if ctx.Counters != nil {
+				ctx.Counters.RowsScanned++
+			}
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+func (s *IndexScan) Close() error { s.td = nil; return nil }
+
+// ---------------------------------------------------------------- Filter
+
+// Filter passes rows whose predicate evaluates to TRUE.
+type Filter struct {
+	Input Operator
+	Pred  Expr
+}
+
+func (f *Filter) Columns() []ColInfo  { return f.Input.Columns() }
+func (f *Filter) Open(ctx *Ctx) error { return f.Input.Open(ctx) }
+
+func (f *Filter) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		row, err := f.Input.Next(ctx)
+		if err != nil || row == nil {
+			return row, err
+		}
+		ok, err := EvalBool(f.Pred, row, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// ---------------------------------------------------------------- StartupFilter
+
+// StartupFilter is a Select with a startup predicate: the guard references
+// only parameters and is evaluated once at Open. If it is false the input is
+// never opened (paper §5.1: "if it evaluates to false, the operator's input
+// expression is not opened"). Two StartupFilters with complementary guards
+// under a UnionAll implement ChoosePlan.
+type StartupFilter struct {
+	Input Operator
+	Guard Expr
+
+	active bool
+}
+
+func (s *StartupFilter) Columns() []ColInfo { return s.Input.Columns() }
+
+func (s *StartupFilter) Open(ctx *Ctx) error {
+	ok, err := EvalBool(s.Guard, nil, ctx.Params)
+	if err != nil {
+		return err
+	}
+	s.active = ok
+	if !ok {
+		if ctx.Counters != nil {
+			ctx.Counters.StartupPruned++
+		}
+		return nil
+	}
+	return s.Input.Open(ctx)
+}
+
+func (s *StartupFilter) Next(ctx *Ctx) (types.Row, error) {
+	if !s.active {
+		return nil, nil
+	}
+	return s.Input.Next(ctx)
+}
+
+func (s *StartupFilter) Close() error {
+	if !s.active {
+		return nil
+	}
+	return s.Input.Close()
+}
+
+// ---------------------------------------------------------------- Project
+
+// Project computes output expressions.
+type Project struct {
+	Input Operator
+	Exprs []Expr
+	Cols  []ColInfo
+}
+
+func (p *Project) Columns() []ColInfo  { return p.Cols }
+func (p *Project) Open(ctx *Ctx) error { return p.Input.Open(ctx) }
+
+func (p *Project) Next(ctx *Ctx) (types.Row, error) {
+	row, err := p.Input.Next(ctx)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(types.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(row, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *Project) Close() error { return p.Input.Close() }
+
+// ---------------------------------------------------------------- Limit
+
+// Limit passes the first N rows; N is evaluated at Open (TOP @n works).
+type Limit struct {
+	Input Operator
+	N     Expr
+
+	left int64
+}
+
+func (l *Limit) Columns() []ColInfo { return l.Input.Columns() }
+
+func (l *Limit) Open(ctx *Ctx) error {
+	v, err := l.N.Eval(nil, ctx.Params)
+	if err != nil {
+		return err
+	}
+	l.left = v.Int()
+	return l.Input.Open(ctx)
+}
+
+func (l *Limit) Next(ctx *Ctx) (types.Row, error) {
+	if l.left <= 0 {
+		return nil, nil
+	}
+	row, err := l.Input.Next(ctx)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.left--
+	return row, nil
+}
+
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// ---------------------------------------------------------------- Sort
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	E    Expr
+	Desc bool
+}
+
+// Sort materializes and sorts its input.
+type Sort struct {
+	Input Operator
+	Keys  []SortKey
+
+	rows []types.Row
+	pos  int
+}
+
+func (s *Sort) Columns() []ColInfo { return s.Input.Columns() }
+
+func (s *Sort) Open(ctx *Ctx) error {
+	if err := s.Input.Open(ctx); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	type keyed struct {
+		row  types.Row
+		keys types.Row
+	}
+	var all []keyed
+	for {
+		row, err := s.Input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys := make(types.Row, len(s.Keys))
+		for i, k := range s.Keys {
+			v, err := k.E.Eval(row, ctx.Params)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		all = append(all, keyed{row: row, keys: keys})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for k := range s.Keys {
+			c := types.Compare(all[i].keys[k], all[j].keys[k])
+			if s.Keys[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, k := range all {
+		s.rows = append(s.rows, k.row)
+	}
+	s.pos = 0
+	return nil
+}
+
+func (s *Sort) Next(*Ctx) (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}
+
+// ---------------------------------------------------------------- Joins
+
+// HashJoin is an equi-join. The right (build) side is hashed; the left side
+// probes. Residual evaluates over the concatenated row.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []Expr
+	LeftOuter           bool // LEFT JOIN: unmatched left rows padded with NULLs
+	Residual            Expr
+
+	table   map[uint64][]types.Row
+	pending []types.Row
+	cols    []ColInfo
+}
+
+func (j *HashJoin) Columns() []ColInfo {
+	if j.cols == nil {
+		j.cols = append(append([]ColInfo{}, j.Left.Columns()...), j.Right.Columns()...)
+	}
+	return j.cols
+}
+
+func (j *HashJoin) Open(ctx *Ctx) error {
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	j.table = make(map[uint64][]types.Row)
+	for {
+		row, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key, null, err := evalKeys(j.RightKeys, row, ctx.Params)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := key.Hash()
+		j.table[h] = append(j.table[h], row)
+	}
+	j.Right.Close()
+	j.pending = nil
+	return j.Left.Open(ctx)
+}
+
+func evalKeys(keys []Expr, row types.Row, p Params) (types.Row, bool, error) {
+	out := make(types.Row, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(row, p)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		out[i] = v
+	}
+	return out, false, nil
+}
+
+func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		if len(j.pending) > 0 {
+			row := j.pending[0]
+			j.pending = j.pending[1:]
+			return row, nil
+		}
+		left, err := j.Left.Next(ctx)
+		if err != nil || left == nil {
+			return left, err
+		}
+		key, null, err := evalKeys(j.LeftKeys, left, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		var matched bool
+		if !null {
+			rightWidth := len(j.Right.Columns())
+			for _, right := range j.table[key.Hash()] {
+				rkey, _, err := evalKeys(j.RightKeys, right, ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if types.CompareRows(key, rkey) != 0 {
+					continue // hash collision
+				}
+				combined := concatRows(left, right)
+				ok, err := EvalBool(j.Residual, combined, ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					j.pending = append(j.pending, combined)
+				}
+			}
+			_ = rightWidth
+		}
+		if !matched && j.LeftOuter {
+			j.pending = append(j.pending, concatRows(left, make(types.Row, len(j.Right.Columns()))))
+		}
+	}
+}
+
+func concatRows(l, r types.Row) types.Row {
+	out := make(types.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}
+
+// NestedLoop joins with an arbitrary predicate. The right side is
+// materialized at Open and rescanned per left row.
+type NestedLoop struct {
+	Left, Right Operator
+	Pred        Expr
+	LeftOuter   bool
+
+	rightRows []types.Row
+	left      types.Row
+	ri        int
+	matched   bool
+	cols      []ColInfo
+}
+
+func (j *NestedLoop) Columns() []ColInfo {
+	if j.cols == nil {
+		j.cols = append(append([]ColInfo{}, j.Left.Columns()...), j.Right.Columns()...)
+	}
+	return j.cols
+}
+
+func (j *NestedLoop) Open(ctx *Ctx) error {
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	j.rightRows = nil
+	for {
+		row, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		j.rightRows = append(j.rightRows, row)
+	}
+	j.Right.Close()
+	j.left = nil
+	j.ri = 0
+	return j.Left.Open(ctx)
+}
+
+func (j *NestedLoop) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		if j.left == nil {
+			row, err := j.Left.Next(ctx)
+			if err != nil || row == nil {
+				return row, err
+			}
+			j.left = row
+			j.ri = 0
+			j.matched = false
+		}
+		for j.ri < len(j.rightRows) {
+			right := j.rightRows[j.ri]
+			j.ri++
+			combined := concatRows(j.left, right)
+			ok, err := EvalBool(j.Pred, combined, ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				j.matched = true
+				return combined, nil
+			}
+		}
+		left := j.left
+		j.left = nil
+		if !j.matched && j.LeftOuter {
+			return concatRows(left, make(types.Row, len(j.Right.Columns()))), nil
+		}
+	}
+}
+
+func (j *NestedLoop) Close() error {
+	j.rightRows = nil
+	return j.Left.Close()
+}
+
+// ---------------------------------------------------------------- UnionAll
+
+// UnionAll concatenates its inputs. Combined with StartupFilters it
+// implements ChoosePlan (paper figure 2b).
+type UnionAll struct {
+	Inputs []Operator
+
+	cur int
+}
+
+func (u *UnionAll) Columns() []ColInfo { return u.Inputs[0].Columns() }
+
+func (u *UnionAll) Open(ctx *Ctx) error {
+	for _, in := range u.Inputs {
+		if err := in.Open(ctx); err != nil {
+			return err
+		}
+	}
+	u.cur = 0
+	return nil
+}
+
+func (u *UnionAll) Next(ctx *Ctx) (types.Row, error) {
+	for u.cur < len(u.Inputs) {
+		row, err := u.Inputs[u.cur].Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+func (u *UnionAll) Close() error {
+	var first error
+	for _, in := range u.Inputs {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------- Remote
+
+// Remote is the DataTransfer operator: it executes SQL text on the backend
+// server and streams the result. Its appearance in a plan is exactly where
+// the optimizer placed a DataTransfer enforcer (paper §5).
+type Remote struct {
+	SQLText string
+	Cols    []ColInfo
+
+	rows []types.Row
+	pos  int
+}
+
+func (r *Remote) Columns() []ColInfo { return r.Cols }
+
+func (r *Remote) Open(ctx *Ctx) error {
+	if ctx.Remote == nil {
+		return fmt.Errorf("exec: no remote server configured for query %q", r.SQLText)
+	}
+	rs, err := ctx.Remote.Query(r.SQLText, ctx.Params)
+	if err != nil {
+		return fmt.Errorf("exec: remote query failed: %w", err)
+	}
+	if ctx.Counters != nil {
+		ctx.Counters.RemoteQueries++
+		ctx.Counters.RowsRemote += int64(len(rs.Rows))
+	}
+	r.rows = rs.Rows
+	r.pos = 0
+	return nil
+}
+
+func (r *Remote) Next(*Ctx) (types.Row, error) {
+	if r.pos >= len(r.rows) {
+		return nil, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, nil
+}
+
+func (r *Remote) Close() error {
+	r.rows = nil
+	return nil
+}
+
+// ---------------------------------------------------------------- Values
+
+// Values yields fixed rows (used for SELECT without FROM).
+type Values struct {
+	Cols []ColInfo
+	Rows [][]Expr
+
+	pos int
+}
+
+func (v *Values) Columns() []ColInfo { return v.Cols }
+func (v *Values) Open(*Ctx) error    { v.pos = 0; return nil }
+
+func (v *Values) Next(ctx *Ctx) (types.Row, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	exprs := v.Rows[v.pos]
+	v.pos++
+	out := make(types.Row, len(exprs))
+	for i, e := range exprs {
+		val, err := e.Eval(nil, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+func (v *Values) Close() error { return nil }
+
+// ---------------------------------------------------------------- Distinct
+
+// Distinct removes duplicate rows (hash-based).
+type Distinct struct {
+	Input Operator
+
+	seen map[uint64][]types.Row
+}
+
+func (d *Distinct) Columns() []ColInfo { return d.Input.Columns() }
+
+func (d *Distinct) Open(ctx *Ctx) error {
+	d.seen = make(map[uint64][]types.Row)
+	return d.Input.Open(ctx)
+}
+
+func (d *Distinct) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		row, err := d.Input.Next(ctx)
+		if err != nil || row == nil {
+			return row, err
+		}
+		h := row.Hash()
+		dup := false
+		for _, prev := range d.seen[h] {
+			if types.RowsEqual(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, nil
+	}
+}
+
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Input.Close()
+}

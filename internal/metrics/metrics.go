@@ -1,0 +1,162 @@
+// Package metrics provides the counters and histograms shared by the
+// replication pipeline, the capacity simulator and the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a thread-safe monotonic counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Histogram records observations and reports mean and percentiles.
+// It keeps raw samples (bounded by maxSamples with reservoir-free
+// downsampling: once full, every other sample is dropped and the stride
+// doubles — adequate for benchmark-scale data volumes).
+type Histogram struct {
+	mu         sync.Mutex
+	samples    []float64
+	stride     int
+	seen       int64
+	sum        float64
+	count      int64
+	min, max   float64
+	maxSamples int
+}
+
+// NewHistogram returns a histogram retaining up to maxSamples samples
+// (default 4096 when maxSamples <= 0).
+func NewHistogram(maxSamples int) *Histogram {
+	if maxSamples <= 0 {
+		maxSamples = 4096
+	}
+	return &Histogram{stride: 1, maxSamples: maxSamples, min: math.MaxFloat64, max: -math.MaxFloat64}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.seen++
+	if int(h.seen)%h.stride != 0 {
+		return
+	}
+	if len(h.samples) >= h.maxSamples {
+		// Drop every other retained sample and double the stride.
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+	}
+	h.samples = append(h.samples, v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) from retained samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f p50=%.4f p90=%.4f max=%.4f",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max())
+}
+
+// Gauge is a thread-safe instantaneous value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores a value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value reads the value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}

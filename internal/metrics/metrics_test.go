@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("count %d", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("count %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 0.001 {
+		t.Errorf("mean %f", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min=%f max=%f", h.Min(), h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45 || p50 > 56 {
+		t.Errorf("p50 %f", p50)
+	}
+	p90 := h.Quantile(0.9)
+	if p90 < 85 || p90 > 95 {
+		t.Errorf("p90 %f", p90)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Quantile(0.9) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramDownsamplingKeepsSummary(t *testing.T) {
+	h := NewHistogram(64)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	if h.Count() != n {
+		t.Errorf("count %d", h.Count())
+	}
+	// Mean and extremes are exact regardless of sample retention.
+	if got := h.Mean(); math.Abs(got-499.5) > 0.5 {
+		t.Errorf("mean %f", got)
+	}
+	if h.Max() != 999 || h.Min() != 0 {
+		t.Errorf("min=%f max=%f", h.Min(), h.Max())
+	}
+	// Quantiles remain plausible from the retained sample.
+	p50 := h.Quantile(0.5)
+	if p50 < 300 || p50 > 700 {
+		t.Errorf("downsampled p50 drifted: %f", p50)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	h := NewHistogram(0)
+	h.ObserveDuration(250 * time.Millisecond)
+	if math.Abs(h.Mean()-0.25) > 1e-9 {
+		t.Errorf("duration mean %f", h.Mean())
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(0)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		return h.Quantile(0.1) <= h.Quantile(0.5) && h.Quantile(0.5) <= h.Quantile(0.9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge %f", g.Value())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(1)
+	if s := h.String(); s == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,106 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"mtcache/internal/exec"
+)
+
+// ExplainOperator renders an operator tree as an indented outline, similar
+// to a textual showplan. Remote operators print the SQL they ship — those
+// lines are the DataTransfer boundaries.
+func ExplainOperator(op exec.Operator) string {
+	var b strings.Builder
+	explainRec(&b, op, 0)
+	return b.String()
+}
+
+// Explain renders a Plan with its headline properties.
+func Explain(p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost=%.1f card=%.0f", p.Cost, p.Card)
+	if p.Dynamic {
+		fmt.Fprintf(&b, " dynamic(Fl=%.3f)", p.GuardFraction)
+	}
+	switch {
+	case p.FullyLocal:
+		b.WriteString(" location=Local")
+	case p.FullyRemote:
+		b.WriteString(" location=Remote")
+	default:
+		b.WriteString(" location=Mixed")
+	}
+	if len(p.UsedViews) > 0 {
+		fmt.Fprintf(&b, " views=%s", strings.Join(p.UsedViews, ","))
+	}
+	b.WriteString("\n")
+	explainRec(&b, p.Root, 0)
+	return b.String()
+}
+
+func explainRec(b *strings.Builder, op exec.Operator, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch x := op.(type) {
+	case *exec.Scan:
+		fmt.Fprintf(b, "%sScan %s\n", pad, x.TableName)
+	case *exec.IndexScan:
+		fmt.Fprintf(b, "%sIndexSeek %s.%s\n", pad, x.TableName, x.IndexName)
+	case *exec.Filter:
+		fmt.Fprintf(b, "%sFilter\n", pad)
+		explainRec(b, x.Input, depth+1)
+	case *exec.StartupFilter:
+		fmt.Fprintf(b, "%sStartupFilter (ChoosePlan branch)\n", pad)
+		explainRec(b, x.Input, depth+1)
+	case *exec.Project:
+		fmt.Fprintf(b, "%sProject %s\n", pad, colNames(x.Cols))
+		explainRec(b, x.Input, depth+1)
+	case *exec.Limit:
+		fmt.Fprintf(b, "%sTop\n", pad)
+		explainRec(b, x.Input, depth+1)
+	case *exec.Sort:
+		fmt.Fprintf(b, "%sSort\n", pad)
+		explainRec(b, x.Input, depth+1)
+	case *exec.Distinct:
+		fmt.Fprintf(b, "%sDistinct\n", pad)
+		explainRec(b, x.Input, depth+1)
+	case *exec.HashAgg:
+		fmt.Fprintf(b, "%sHashAggregate groups=%d aggs=%d\n", pad, len(x.GroupBy), len(x.Aggs))
+		explainRec(b, x.Input, depth+1)
+	case *exec.HashJoin:
+		kind := "HashJoin"
+		if x.LeftOuter {
+			kind = "HashLeftJoin"
+		}
+		fmt.Fprintf(b, "%s%s\n", pad, kind)
+		explainRec(b, x.Left, depth+1)
+		explainRec(b, x.Right, depth+1)
+	case *exec.NestedLoop:
+		kind := "NestedLoop"
+		if x.LeftOuter {
+			kind = "NestedLoopLeft"
+		}
+		fmt.Fprintf(b, "%s%s\n", pad, kind)
+		explainRec(b, x.Left, depth+1)
+		explainRec(b, x.Right, depth+1)
+	case *exec.UnionAll:
+		fmt.Fprintf(b, "%sUnionAll\n", pad)
+		for _, in := range x.Inputs {
+			explainRec(b, in, depth+1)
+		}
+	case *exec.Remote:
+		fmt.Fprintf(b, "%sDataTransfer [%s]\n", pad, x.SQLText)
+	case *exec.Values:
+		fmt.Fprintf(b, "%sValues rows=%d\n", pad, len(x.Rows))
+	default:
+		fmt.Fprintf(b, "%s%T\n", pad, op)
+	}
+}
+
+func colNames(cols []exec.ColInfo) string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
+}

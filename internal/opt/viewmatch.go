@@ -1,0 +1,322 @@
+package opt
+
+import (
+	"strings"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/sql"
+	"mtcache/internal/types"
+)
+
+// ViewMatch is a successful substitution of a view for a base-table
+// reference.
+type ViewMatch struct {
+	View *catalog.Table
+
+	// ColMap maps base-table column names (lower-cased) to view output
+	// ordinals.
+	ColMap map[string]int
+
+	// Guard is nil for an unconditional match. Otherwise it is a predicate
+	// over parameters only; the view contains all required rows exactly when
+	// the guard is true, and the optimizer builds a ChoosePlan (paper §5.1).
+	Guard sql.Expr
+
+	// GuardTerms describe the guard for selectivity (Fl) estimation.
+	GuardTerms []GuardTerm
+
+	// Residual holds the query conjuncts that must still be evaluated on
+	// the view's rows. Conjuncts the view definition already implies are
+	// dropped — so their columns need not be in the view's projection.
+	Residual []sql.Expr
+}
+
+// GuardTerm is one conjunct of a guard: @Param Op Bound (or @Param IN EqSet),
+// derived from view predicate bounds on column Col.
+type GuardTerm struct {
+	Param string
+	Op    sql.BinOp
+	Bound types.Value
+	EqSet []types.Value
+	Col   string // underlying base-table column, for statistics
+}
+
+// MatchView tests whether view can substitute for a reference to base table
+// tableName given the query's single-table conjuncts and the set of
+// downstream-needed columns (lower-cased names). dynamicOK enables guarded
+// (parameterized) matches.
+//
+// The test follows the select-project case of the Goldstein–Larson
+// view-matching conditions: (1) the view is over the same table, (2) the
+// query predicate implies the view predicate (possibly conditionally on
+// parameter values — the guard), (3) query conjuncts the view definition
+// already implies are dropped from the residual, and (4) every needed
+// column — downstream needs plus residual-conjunct columns — is in the
+// view's projection.
+func MatchView(view *catalog.Table, tableName string, conjuncts []sql.Expr, needed map[string]bool, dynamicOK bool) *ViewMatch {
+	if view.ViewDef == nil || !view.IsView {
+		return nil
+	}
+	def := view.ViewDef
+	// Select-project views only: single table, no grouping, no top.
+	if len(def.From) != 1 || def.GroupBy != nil || def.Having != nil || def.Top != nil || def.Distinct {
+		return nil
+	}
+	base, ok := def.From[0].(*sql.TableName)
+	if !ok || !strings.EqualFold(base.Name, tableName) {
+		return nil
+	}
+
+	// Projection map: base column name -> view ordinal.
+	colMap := make(map[string]int)
+	for i, item := range def.Columns {
+		if item.Star {
+			// SELECT *: identity map over the view's columns.
+			for j, c := range view.Columns {
+				colMap[strings.ToLower(c.Name)] = j
+			}
+			break
+		}
+		ref, ok := item.Expr.(*sql.ColumnRef)
+		if !ok {
+			return nil // computed view columns are not matchable
+		}
+		colMap[strings.ToLower(ref.Name)] = i
+	}
+
+	// View predicate must be fully understood.
+	viewPreds, viewResidual := simplePreds(Conjuncts(def.Where))
+	if len(viewResidual) > 0 {
+		return nil
+	}
+	byColView := groupByCol(viewPreds)
+
+	preds, _ := simplePreds(conjuncts)
+	byColQuery := groupByCol(preds)
+
+	// Containment check per view-predicate column.
+	var guardExprs []sql.Expr
+	var guardTerms []GuardTerm
+	for col, vPreds := range byColView {
+		vRange := rangeFromPreds(vPreds)
+		qPreds := byColQuery[col]
+		qRange := rangeFromPreds(qPreds)
+		if vRange.impliedBy(qRange) {
+			continue
+		}
+		if !dynamicOK {
+			return nil
+		}
+		exprs, terms, ok := deriveGuard(col, vRange, qRange, qPreds)
+		if !ok {
+			return nil
+		}
+		guardExprs = append(guardExprs, exprs...)
+		guardTerms = append(guardTerms, terms...)
+	}
+
+	// Residual: drop conjuncts the view definition implies (redundancy
+	// elimination). A conjunct is redundant when, for every simple predicate
+	// it contributes, the view's range on that column is contained in the
+	// predicate's range.
+	var residual []sql.Expr
+	for _, c := range conjuncts {
+		ps, ok := asSimplePreds(c)
+		if !ok {
+			residual = append(residual, c)
+			continue
+		}
+		redundant := true
+		for _, p := range ps {
+			if p.isParam() {
+				redundant = false
+				break
+			}
+			vPreds, okCol := byColView[colNameKey(p.col)]
+			if !okCol {
+				redundant = false
+				break
+			}
+			vRange := rangeFromPreds(vPreds)
+			pRange := rangeFromPreds([]simplePred{p})
+			if !pRange.impliedBy(vRange) {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			residual = append(residual, c)
+		}
+	}
+
+	// Column availability: downstream needs plus residual columns.
+	for col := range needed {
+		if _, ok := colMap[col]; !ok {
+			return nil
+		}
+	}
+	for _, c := range residual {
+		for _, ref := range columnRefs(c) {
+			if _, ok := colMap[colNameKey(ref)]; !ok {
+				return nil
+			}
+		}
+	}
+
+	m := &ViewMatch{View: view, ColMap: colMap, GuardTerms: guardTerms, Residual: residual}
+	m.Guard = AndAll(guardExprs)
+	return m
+}
+
+func groupByCol(preds []simplePred) map[string][]simplePred {
+	out := make(map[string][]simplePred)
+	for _, p := range preds {
+		k := colNameKey(p.col)
+		out[k] = append(out[k], p)
+	}
+	return out
+}
+
+// deriveGuard finds parameter conditions under which the query predicates on
+// one column imply the view's range on that column. Returns ok=false when no
+// sound guard exists.
+func deriveGuard(col string, vRange, qRange valueRange, qPreds []simplePred) ([]sql.Expr, []GuardTerm, bool) {
+	var exprs []sql.Expr
+	var terms []GuardTerm
+
+	paramOf := func(ops ...sql.BinOp) *simplePred {
+		for i := range qPreds {
+			p := &qPreds[i]
+			if !p.isParam() {
+				continue
+			}
+			for _, op := range ops {
+				if p.op == op {
+					return p
+				}
+			}
+		}
+		return nil
+	}
+	emit := func(param string, op sql.BinOp, bound types.Value) {
+		exprs = append(exprs, &sql.BinaryExpr{
+			Op: op,
+			L:  &sql.Param{Name: param},
+			R:  &sql.Literal{Val: bound},
+		})
+		terms = append(terms, GuardTerm{Param: param, Op: op, Bound: bound, Col: col})
+	}
+
+	// Finite-set view predicate: only @p = ... can be guarded into it.
+	if vRange.eq != nil {
+		if qRange.eq != nil {
+			sub := true
+			for _, v := range qRange.eq {
+				if !vRange.containsEqAware(v) {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				return nil, nil, true
+			}
+		}
+		p := paramOf(sql.OpEQ)
+		if p == nil {
+			return nil, nil, false
+		}
+		var list []sql.Expr
+		for _, v := range vRange.eq {
+			list = append(list, &sql.Literal{Val: v})
+		}
+		exprs = append(exprs, &sql.InExpr{X: &sql.Param{Name: p.param}, List: list})
+		terms = append(terms, GuardTerm{Param: p.param, EqSet: vRange.eq, Col: col, Op: sql.OpEQ})
+		return exprs, terms, true
+	}
+
+	// Upper bound of the view range.
+	if !vRange.hi.IsNull() {
+		hiDone := qRange.hiSatisfies(vRange.hi, vRange.hiOpen)
+		if !hiDone {
+			p := paramOf(sql.OpEQ, sql.OpLE, sql.OpLT)
+			if p == nil {
+				return nil, nil, false
+			}
+			// Query pred: X <= @p (or X = @p, X < @p). Containment requires
+			// @p within the view's upper bound. X < @p is safe with @p <= hi
+			// as well because X < @p <= hi.
+			op := sql.OpLE
+			if vRange.hiOpen && p.op != sql.OpLT {
+				op = sql.OpLT
+			}
+			emit(p.param, op, vRange.hi)
+		}
+	}
+	// Lower bound of the view range.
+	if !vRange.lo.IsNull() {
+		loDone := qRange.loSatisfies(vRange.lo, vRange.loOpen)
+		if !loDone {
+			p := paramOf(sql.OpEQ, sql.OpGE, sql.OpGT)
+			if p == nil {
+				return nil, nil, false
+			}
+			op := sql.OpGE
+			if vRange.loOpen && p.op != sql.OpGT {
+				op = sql.OpGT
+			}
+			emit(p.param, op, vRange.lo)
+		}
+	}
+	return exprs, terms, true
+}
+
+// hiSatisfies reports whether this (query) range's upper side already stays
+// within bound.
+func (r *valueRange) hiSatisfies(bound types.Value, open bool) bool {
+	probe := valueRange{hi: bound, hiOpen: open}
+	return probe.impliedBy(*r)
+}
+
+// loSatisfies is the mirror of hiSatisfies.
+func (r *valueRange) loSatisfies(bound types.Value, open bool) bool {
+	probe := valueRange{lo: bound, loOpen: open}
+	return probe.impliedBy(*r)
+}
+
+// EstimateGuardFrequency estimates Fl — the probability that the guard is
+// true at run time. Per the paper (§5.1), the parameter is assumed uniformly
+// distributed between the min and max of the guarded column, for lack of a
+// parameter-value distribution.
+func EstimateGuardFrequency(terms []GuardTerm, stats *catalog.TableStats) float64 {
+	f := 1.0
+	for _, t := range terms {
+		cs := stats.Col(t.Col)
+		var p float64
+		switch {
+		case t.EqSet != nil:
+			p = 0
+			for _, v := range t.EqSet {
+				p += cs.SelectivityEq(v)
+			}
+			if p > 1 {
+				p = 1
+			}
+		case t.Op == sql.OpLE || t.Op == sql.OpLT:
+			p = cs.FractionLE(t.Bound)
+		case t.Op == sql.OpGE || t.Op == sql.OpGT:
+			p = 1 - cs.FractionLE(t.Bound)
+		case t.Op == sql.OpEQ:
+			p = cs.SelectivityEq(t.Bound)
+		default:
+			p = 0.5
+		}
+		f *= p
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,117 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+// Failure injection: a subscriber that temporarily cannot apply (conflicting
+// row) must not lose or reorder transactions — the distribution agent
+// re-queues the unapplied suffix and retries on its next wake-up.
+
+func TestApplyFailureRequeuesInOrder(t *testing.T) {
+	pub := newPublisher(t, 20)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	sub, err := srv.Subscribe(art, subDB, "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sabotage: insert a conflicting row directly into the target so the
+	// next replicated insert (i_id = 500) collides on the primary key.
+	if _, err := subDB.Exec("INSERT INTO tgt (i_id, i_title, i_cost) VALUES (500, 'conflict', 0)", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pub.Exec("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (500, 'real', 1, 'ARTS')", nil)
+	pub.Exec("UPDATE item SET i_title = 'after-conflict' WHERE i_id = 1", nil)
+	srv.RunLogReader()
+
+	// First distribution pass fails on the conflicting transaction.
+	if _, err := srv.RunDistribution(sub); err == nil {
+		t.Fatal("expected apply failure")
+	}
+	// Both transactions must still be queued, in commit order.
+	if got := srv.PendingFor(sub); got != 2 {
+		t.Fatalf("pending after failure: %d", got)
+	}
+	// The later update must NOT have been applied out of order.
+	res, _ := subDB.Exec("SELECT i_title FROM tgt WHERE i_id = 1", nil)
+	if res.Rows[0][0].Str() == "after-conflict" {
+		t.Fatal("later transaction applied before the failed one")
+	}
+
+	// Repair the conflict; the next agent pass applies both, in order.
+	if _, err := subDB.Exec("DELETE FROM tgt WHERE i_id = 500", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RunDistribution(sub); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	res, _ = subDB.Exec("SELECT i_title FROM tgt WHERE i_id = 500", nil)
+	if res.Rows[0][0].Str() != "real" {
+		t.Error("failed transaction not applied after repair")
+	}
+	res, _ = subDB.Exec("SELECT i_title FROM tgt WHERE i_id = 1", nil)
+	if res.Rows[0][0].Str() != "after-conflict" {
+		t.Error("subsequent transaction lost")
+	}
+}
+
+func TestOneFailingSubscriberDoesNotBlockOthers(t *testing.T) {
+	pub := newPublisher(t, 10)
+	good := newSubscriberTable(t, "good")
+	bad := newSubscriberTable(t, "bad")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	gsub, _ := srv.Subscribe(art, good, "tgt")
+	bsub, _ := srv.Subscribe(art, bad, "tgt")
+
+	// Break the bad subscriber only.
+	bad.Exec("INSERT INTO tgt (i_id, i_title, i_cost) VALUES (777, 'conflict', 0)", nil)
+	pub.Exec("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (777, 'x', 1, 'ARTS')", nil)
+	srv.RunLogReader()
+
+	if _, err := srv.RunDistribution(gsub); err != nil {
+		t.Fatalf("healthy subscriber affected: %v", err)
+	}
+	if _, err := srv.RunDistribution(bsub); err == nil {
+		t.Fatal("expected failure on the broken subscriber")
+	}
+	res, _ := good.Exec("SELECT COUNT(*) FROM tgt WHERE i_id = 777", nil)
+	if res.Rows[0][0].Int() != 1 {
+		t.Error("healthy subscriber missing the change")
+	}
+	// WAL retention: the failed subscriber's pending txn pins the log.
+	srv.RunLogReader()
+	if pub.Store().WAL().Len() == 0 {
+		t.Error("WAL truncated while a subscriber still has pending work")
+	}
+}
+
+func TestStalenessGrowsWithPendingWork(t *testing.T) {
+	pub := newPublisher(t, 10)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	sub, _ := srv.Subscribe(art, subDB, "tgt")
+
+	srv.StepAll()
+	pub.Exec("UPDATE item SET i_cost = 1 WHERE i_id = 1", nil)
+	time.Sleep(15 * time.Millisecond)
+	srv.RunLogReader() // queued but not applied
+	stale := sub.Staleness(time.Now())
+	if stale < 10*time.Millisecond {
+		t.Fatalf("pending txn should show its age: %v", stale)
+	}
+	if _, err := srv.RunDistribution(sub); err != nil {
+		t.Fatal(err)
+	}
+	srv.RunLogReader() // advances currentAsOf for the drained queue
+	after := sub.Staleness(time.Now())
+	if after > stale {
+		t.Errorf("staleness should reset after catching up: before=%v after=%v", stale, after)
+	}
+}

@@ -1,0 +1,135 @@
+package repl
+
+import (
+	"fmt"
+	"time"
+
+	"mtcache/internal/engine"
+	"mtcache/internal/storage"
+	"mtcache/internal/types"
+)
+
+// TxnBatch is a wire-transportable committed transaction, used by pull
+// subscriptions where the subscriber lives across a network link. The
+// distribution agent on the subscriber machine pulls batches and applies
+// them locally (the paper's "pull subscription", §2.2).
+type TxnBatch struct {
+	LSN        storage.LSN
+	CommitTime time.Time
+	Changes    []storage.ChangeRec
+}
+
+// SnapshotRows computes the article's current contents plus the LSN the
+// change stream must start from, without applying them anywhere. Used for
+// initial population of remote subscribers.
+func (s *Server) SnapshotRows(a *Article) ([]types.Row, storage.LSN, error) {
+	pubStore := s.publisher.Store()
+	rtx := pubStore.Begin(false)
+	src := rtx.Table(a.Table)
+	if src == nil {
+		rtx.Abort()
+		return nil, 0, fmt.Errorf("repl: no storage for %s on publisher", a.Table)
+	}
+	var rows []types.Row
+	var evalErr error
+	src.Scan(func(_ storage.RowID, row types.Row) bool {
+		ok, err := a.matches(row)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ok {
+			rows = append(rows, a.project(row))
+		}
+		return true
+	})
+	lsn := pubStore.WAL().End()
+	rtx.Abort()
+	if evalErr != nil {
+		return nil, 0, evalErr
+	}
+	return rows, lsn, nil
+}
+
+// SubscribeRemote registers a queue-only subscription: the log reader fills
+// its queue, and a remote agent drains it with Drain. startLSN is the value
+// returned by SnapshotRows.
+func (s *Server) SubscribeRemote(a *Article, name string, startLSN storage.LSN) *Subscription {
+	sub := &Subscription{
+		Name:    name,
+		Article: a,
+		nextLSN: startLSN,
+	}
+	s.mu.Lock()
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	return sub
+}
+
+// Drain removes and returns up to max queued transactions (max <= 0 means
+// all) for a remote subscription.
+func (s *Server) Drain(sub *Subscription, max int) []TxnBatch {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	n := len(sub.queue)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]TxnBatch, 0, n)
+	for i := 0; i < n; i++ {
+		q := sub.queue[i]
+		changes, err := decodeChanges(q.encoded)
+		if err != nil {
+			continue
+		}
+		out = append(out, TxnBatch{LSN: q.lsn, CommitTime: q.commitTime, Changes: changes})
+	}
+	sub.queue = sub.queue[n:]
+	return out
+}
+
+// ApplyBatch applies one pulled transaction batch to a local table,
+// committing unlogged so replicated changes do not echo. It is the
+// subscriber half of a pull subscription.
+func ApplyBatch(target *engine.Database, table string, batch TxnBatch) error {
+	meta := target.Catalog().Table(table)
+	if meta == nil {
+		return fmt.Errorf("repl: target table %s does not exist", table)
+	}
+	tx := target.Store().Begin(true)
+	td := tx.Table(table)
+	if td == nil {
+		tx.Abort()
+		return fmt.Errorf("repl: no storage for %s", table)
+	}
+	for _, ch := range batch.Changes {
+		switch ch.Op {
+		case storage.OpInsert:
+			if _, err := tx.Insert(table, ch.After); err != nil {
+				tx.Abort()
+				return err
+			}
+		case storage.OpDelete:
+			rid := locateTargetRow(td, meta, ch.Before)
+			if rid < 0 {
+				tx.Abort()
+				return fmt.Errorf("repl: %s: delete target row missing", table)
+			}
+			if err := tx.Delete(table, rid); err != nil {
+				tx.Abort()
+				return err
+			}
+		case storage.OpUpdate:
+			rid := locateTargetRow(td, meta, ch.Before)
+			if rid < 0 {
+				tx.Abort()
+				return fmt.Errorf("repl: %s: update target row missing", table)
+			}
+			if err := tx.Update(table, rid, ch.After); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+	}
+	return tx.CommitUnlogged()
+}

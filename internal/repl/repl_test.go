@@ -1,0 +1,338 @@
+package repl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mtcache/internal/engine"
+	"mtcache/internal/sql"
+)
+
+const itemDDL = `
+	CREATE TABLE item (
+		i_id INT PRIMARY KEY,
+		i_title VARCHAR(60) NOT NULL,
+		i_cost FLOAT,
+		i_subject VARCHAR(20)
+	);`
+
+func newPublisher(t *testing.T, rows int) *engine.Database {
+	t.Helper()
+	db := engine.New(engine.Config{Name: "backend", Role: engine.Backend})
+	if err := db.ExecScript(itemDDL); err != nil {
+		t.Fatal(err)
+	}
+	subjects := []string{"ARTS", "BIOGRAPHIES", "COMPUTERS"}
+	for i := 1; i <= rows; i++ {
+		stmt := fmt.Sprintf("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (%d, 't%d', %d.5, '%s')",
+			i, i, i, subjects[i%3])
+		if _, err := db.Exec(stmt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newSubscriberTable creates a cache-side database with one target table
+// matching the article projection (i_id, i_title, i_cost).
+func newSubscriberTable(t *testing.T, name string) *engine.Database {
+	t.Helper()
+	db := engine.New(engine.Config{Name: name, Role: engine.Backend}) // role irrelevant for apply
+	err := db.ExecScript(`CREATE TABLE tgt (i_id INT PRIMARY KEY, i_title VARCHAR(60), i_cost FLOAT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func filterCost(t *testing.T, bound float64) sql.Expr {
+	t.Helper()
+	return sql.MustParseSelect(fmt.Sprintf("SELECT i_id FROM item WHERE i_cost <= %g", bound)).Where
+}
+
+func count(t *testing.T, db *engine.Database, q string) int64 {
+	t.Helper()
+	res, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestSnapshotPopulatesTarget(t *testing.T) {
+	pub := newPublisher(t, 100)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, err := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, filterCost(t, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Subscribe(art, subDB, "tgt"); err != nil {
+		t.Fatal(err)
+	}
+	// costs are i+0.5, filter <= 50 → ids 1..49
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt"); got != 49 {
+		t.Fatalf("snapshot rows: %d", got)
+	}
+}
+
+func TestIncrementalPropagation(t *testing.T) {
+	pub := newPublisher(t, 100)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	srv.Subscribe(art, subDB, "tgt")
+
+	pub.Exec("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (500, 'new', 1, 'ARTS')", nil)
+	pub.Exec("UPDATE item SET i_title = 'renamed' WHERE i_id = 10", nil)
+	pub.Exec("DELETE FROM item WHERE i_id = 20", nil)
+
+	if err := srv.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt"); got != 100 {
+		t.Fatalf("target rows: %d", got)
+	}
+	res, _ := subDB.Exec("SELECT i_title FROM tgt WHERE i_id = 10", nil)
+	if res.Rows[0][0].Str() != "renamed" {
+		t.Error("update not propagated")
+	}
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt WHERE i_id = 20"); got != 0 {
+		t.Error("delete not propagated")
+	}
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt WHERE i_id = 500"); got != 1 {
+		t.Error("insert not propagated")
+	}
+}
+
+func TestFilterBoundaryCrossing(t *testing.T) {
+	pub := newPublisher(t, 100)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, filterCost(t, 50))
+	srv.Subscribe(art, subDB, "tgt")
+
+	// Update moving a row INTO the filter: id 80 (cost 80.5) → cost 10.
+	pub.Exec("UPDATE item SET i_cost = 10 WHERE i_id = 80", nil)
+	// Update moving a row OUT: id 5 (cost 5.5) → cost 999.
+	pub.Exec("UPDATE item SET i_cost = 999 WHERE i_id = 5", nil)
+	// In-place update staying inside.
+	pub.Exec("UPDATE item SET i_title = 'kept' WHERE i_id = 7", nil)
+	srv.StepAll()
+
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt WHERE i_id = 80"); got != 1 {
+		t.Error("move-in should become an insert on the subscriber")
+	}
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt WHERE i_id = 5"); got != 0 {
+		t.Error("move-out should become a delete on the subscriber")
+	}
+	res, _ := subDB.Exec("SELECT i_title FROM tgt WHERE i_id = 7", nil)
+	if res.Rows[0][0].Str() != "kept" {
+		t.Error("in-place update lost")
+	}
+}
+
+func TestCommitOrderAndTransactionality(t *testing.T) {
+	pub := newPublisher(t, 10)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	srv.Subscribe(art, subDB, "tgt")
+
+	// A multi-statement transaction via a stored procedure.
+	pub.ExecScript(`CREATE PROCEDURE swapTitles @a INT, @b INT AS BEGIN
+		UPDATE item SET i_title = 'swapA' WHERE i_id = @a;
+		UPDATE item SET i_title = 'swapB' WHERE i_id = @b;
+	END`)
+	pub.Exec("EXEC swapTitles @a = 1, @b = 2", nil)
+	srv.RunLogReader()
+	sub := srv.Subscriptions()[0]
+	if srv.PendingFor(sub) != 1 {
+		t.Fatalf("expected 1 queued transaction, got %d", srv.PendingFor(sub))
+	}
+	if _, err := srv.RunDistribution(sub); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt WHERE i_title LIKE 'swap%'"); got != 2 {
+		t.Error("transaction applied partially")
+	}
+}
+
+func TestLogReaderOffStopsPropagation(t *testing.T) {
+	pub := newPublisher(t, 10)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	srv.Subscribe(art, subDB, "tgt")
+
+	srv.SetLogReader(false)
+	pub.Exec("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (99, 'x', 1, 'ARTS')", nil)
+	srv.StepAll()
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt"); got != 10 {
+		t.Error("changes propagated with reader off")
+	}
+	srv.SetLogReader(true)
+	srv.StepAll()
+	if got := count(t, subDB, "SELECT COUNT(*) FROM tgt"); got != 11 {
+		t.Error("changes lost after reader re-enabled")
+	}
+}
+
+func TestWALTruncationAfterPropagation(t *testing.T) {
+	pub := newPublisher(t, 10)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	srv.Subscribe(art, subDB, "tgt")
+
+	for i := 0; i < 5; i++ {
+		pub.Exec(fmt.Sprintf("UPDATE item SET i_cost = %d WHERE i_id = 1", i+100), nil)
+	}
+	srv.StepAll()
+	srv.RunLogReader() // second pass triggers truncation of consumed entries
+	if n := pub.Store().WAL().Len(); n != 0 {
+		t.Errorf("WAL should be truncated after all subscribers consumed: %d left", n)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	pub := newPublisher(t, 50)
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	var targets []*engine.Database
+	for i := 0; i < 3; i++ {
+		db := newSubscriberTable(t, fmt.Sprintf("cache%d", i))
+		if _, err := srv.Subscribe(art, db, "tgt"); err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, db)
+	}
+	pub.Exec("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (999, 'multi', 1, 'ARTS')", nil)
+	srv.StepAll()
+	for i, db := range targets {
+		if got := count(t, db, "SELECT COUNT(*) FROM tgt"); got != 51 {
+			t.Errorf("subscriber %d rows: %d", i, got)
+		}
+	}
+}
+
+func TestArticleReuse(t *testing.T) {
+	pub := newPublisher(t, 10)
+	srv := NewServer(pub)
+	a1, _ := srv.EnsureArticle("item", []string{"i_id", "i_title"}, nil)
+	a2, _ := srv.EnsureArticle("item", []string{"i_id", "i_title"}, nil)
+	if a1 != a2 {
+		t.Error("identical article definitions should be shared")
+	}
+	a3, _ := srv.EnsureArticle("item", []string{"i_id"}, nil)
+	if a1 == a3 {
+		t.Error("different projections must be distinct articles")
+	}
+	a4, _ := srv.EnsureArticle("item", []string{"i_id", "i_title"}, filterCost(t, 5))
+	if a1 == a4 {
+		t.Error("different filters must be distinct articles")
+	}
+}
+
+func TestLatencyMeasured(t *testing.T) {
+	pub := newPublisher(t, 10)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	srv.Subscribe(art, subDB, "tgt")
+
+	pub.Exec("UPDATE item SET i_cost = 7 WHERE i_id = 1", nil)
+	time.Sleep(20 * time.Millisecond)
+	srv.StepAll()
+	if srv.Stats.Latency.Count() != 1 {
+		t.Fatal("latency not recorded")
+	}
+	if lat := srv.Stats.Latency.Mean(); lat < 0.015 {
+		t.Errorf("latency should include queueing delay: %f", lat)
+	}
+}
+
+func TestBackgroundAgents(t *testing.T) {
+	pub := newPublisher(t, 10)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, nil)
+	srv.Subscribe(art, subDB, "tgt")
+
+	srv.Start(2*time.Millisecond, 2*time.Millisecond)
+	defer srv.Stop()
+	pub.Exec("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (77, 'bg', 1, 'ARTS')", nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if count(t, subDB, "SELECT COUNT(*) FROM tgt WHERE i_id = 77") == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background agents did not propagate the change")
+}
+
+// Property-style convergence test: random committed operations on the
+// publisher converge the subscriber to exactly the filtered projection.
+func TestConvergenceUnderRandomWorkload(t *testing.T) {
+	pub := newPublisher(t, 200)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, _ := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, filterCost(t, 100))
+	srv.Subscribe(art, subDB, "tgt")
+
+	r := rand.New(rand.NewSource(7))
+	nextID := 1000
+	live := map[int]bool{}
+	for i := 1; i <= 200; i++ {
+		live[i] = true
+	}
+	ids := func() []int {
+		var out []int
+		for id := range live {
+			out = append(out, id)
+		}
+		return out
+	}
+	for step := 0; step < 300; step++ {
+		switch r.Intn(3) {
+		case 0:
+			nextID++
+			cost := r.Intn(200)
+			pub.Exec(fmt.Sprintf("INSERT INTO item (i_id, i_title, i_cost, i_subject) VALUES (%d, 'r', %d, 'ARTS')", nextID, cost), nil)
+			live[nextID] = true
+		case 1:
+			all := ids()
+			id := all[r.Intn(len(all))]
+			pub.Exec(fmt.Sprintf("UPDATE item SET i_cost = %d WHERE i_id = %d", r.Intn(200), id), nil)
+		case 2:
+			all := ids()
+			id := all[r.Intn(len(all))]
+			pub.Exec(fmt.Sprintf("DELETE FROM item WHERE i_id = %d", id), nil)
+			delete(live, id)
+		}
+		if step%50 == 0 {
+			srv.StepAll()
+		}
+	}
+	if err := srv.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := count(t, pub, "SELECT COUNT(*) FROM item WHERE i_cost <= 100")
+	got := count(t, subDB, "SELECT COUNT(*) FROM tgt")
+	if want != got {
+		t.Fatalf("divergence: publisher filtered=%d subscriber=%d", want, got)
+	}
+	// Spot-check content equality via checksums.
+	wantSum, _ := pub.Exec("SELECT SUM(i_id), SUM(i_cost) FROM item WHERE i_cost <= 100", nil)
+	gotSum, _ := subDB.Exec("SELECT SUM(i_id), SUM(i_cost) FROM tgt", nil)
+	if wantSum.Rows[0][0].Int() != gotSum.Rows[0][0].Int() ||
+		wantSum.Rows[0][1].Float() != gotSum.Rows[0][1].Float() {
+		t.Fatalf("content divergence: %v vs %v", wantSum.Rows[0], gotSum.Rows[0])
+	}
+}

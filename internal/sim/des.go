@@ -1,0 +1,341 @@
+// Package sim reproduces the paper's multi-machine TPC-W experiments on a
+// single machine. The paper used eleven physical servers (a dual-CPU
+// backend, five single-CPU web/cache servers, load drivers); we substitute
+// a closed-loop discrete-event capacity simulation whose inputs are
+// *measured* from the real engine:
+//
+//   - per-interaction CPU demand on the web/cache server and on the backend
+//     (measured by running every interaction against the real engine with a
+//     timing shim around the backend link);
+//   - replication overheads (log-reader time per transaction on the backend,
+//     apply time per transaction on each cache), measured from the real
+//     replication pipeline.
+//
+// The simulation preserves what the paper's figures depend on — where work
+// executes — so the shapes (linear WIPS scale-out, backend-load growth per
+// workload, the Ordering saturation) reproduce even though absolute numbers
+// reflect today's hardware rather than 500 MHz Pentiums.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"mtcache/internal/tpcw"
+)
+
+// Costs is the calibrated cost model.
+type Costs struct {
+	// Web and Backend are per-interaction CPU demands in seconds.
+	Web     map[tpcw.Interaction]float64
+	Backend map[tpcw.Interaction]float64
+
+	// Writes is the number of write transactions each interaction commits
+	// on the backend (drives replication load).
+	Writes map[tpcw.Interaction]float64
+
+	// ReaderPerTxn is backend log-reader CPU per write transaction;
+	// ApplyPerTxn is per-cache distribution-agent CPU per write transaction.
+	ReaderPerTxn float64
+	ApplyPerTxn  float64
+}
+
+// Config is one simulation scenario.
+type Config struct {
+	Workload       tpcw.Workload
+	Servers        int     // number of web/cache servers
+	UsersPerServer int     // emulated browsers per web server
+	ThinkTime      float64 // seconds (the paper fixed it at 1s)
+	BackendCPUs    int     // the paper's backend was a dual-CPU machine
+	Duration       float64 // simulated seconds
+	Warmup         float64 // discarded prefix
+	Seed           int64
+	Replication    bool // include replication overhead (log reader + apply)
+}
+
+// Result is what one simulation run measures.
+type Result struct {
+	WIPS        float64 // completed web interactions per simulated second
+	P90Latency  float64 // seconds
+	MeanLatency float64
+	BackendUtil float64 // 0..1 across the backend's CPUs
+	WebUtil     float64 // mean utilization of the web/cache servers
+	Completed   int
+}
+
+const (
+	evThinkEnd = iota
+	evWebDone
+	evBackendDone
+)
+
+type job struct {
+	user    int     // -1 for replication apply work
+	size    float64 // service demand at the current station, seconds
+	started float64 // interaction start time, for latency
+	backend float64 // backend demand still ahead after the web phase
+	writes  float64 // write transactions this interaction commits
+}
+
+type event struct {
+	at   float64
+	kind int
+	who  int // user id (think) or web server id (web done)
+	j    job
+	seq  int // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// station is a FIFO service center with one or more identical servers.
+type station struct {
+	queue   []job
+	inUse   int
+	servers int
+	busyAcc float64
+}
+
+// Simulate runs one closed-loop scenario.
+func Simulate(c Costs, cfg Config) Result {
+	if cfg.Duration == 0 {
+		cfg.Duration = 120
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Duration * 0.2
+	}
+	if cfg.BackendCPUs == 0 {
+		cfg.BackendCPUs = 2
+	}
+	if cfg.ThinkTime == 0 {
+		cfg.ThinkTime = 1.0
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	nUsers := cfg.Servers * cfg.UsersPerServer
+	webs := make([]*station, cfg.Servers)
+	for i := range webs {
+		webs[i] = &station{servers: 1}
+	}
+	backend := &station{servers: cfg.BackendCPUs}
+
+	var events eventHeap
+	seq := 0
+	push := func(at float64, kind, who int, j job) {
+		heap.Push(&events, event{at: at, kind: kind, who: who, j: j, seq: seq})
+		seq++
+	}
+
+	now := 0.0
+	measStart := cfg.Warmup
+	measured := func(t0, t1 float64) float64 {
+		lo, hi := t0, t1
+		if lo < measStart {
+			lo = measStart
+		}
+		if hi > cfg.Duration {
+			hi = cfg.Duration
+		}
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	}
+
+	// exponential service times around the measured means keep the queueing
+	// behaviour realistic (deterministic services understate contention).
+	draw := func(mean float64) float64 {
+		if mean <= 0 {
+			return 0
+		}
+		return r.ExpFloat64() * mean
+	}
+
+	startWeb := func(sid int) {
+		s := webs[sid]
+		for s.inUse < s.servers && len(s.queue) > 0 {
+			j := s.queue[0]
+			s.queue = s.queue[1:]
+			s.inUse++
+			s.busyAcc += measured(now, now+j.size)
+			push(now+j.size, evWebDone, sid, j)
+		}
+	}
+	startBackend := func() {
+		for backend.inUse < backend.servers && len(backend.queue) > 0 {
+			j := backend.queue[0]
+			backend.queue = backend.queue[1:]
+			backend.inUse++
+			backend.busyAcc += measured(now, now+j.size)
+			push(now+j.size, evBackendDone, 0, j)
+		}
+	}
+
+	var latencies []float64
+	completed := 0
+	complete := func(j job) {
+		if now >= measStart && now <= cfg.Duration {
+			completed++
+			latencies = append(latencies, now-j.started)
+		}
+		// back to thinking
+		push(now+cfg.ThinkTime, evThinkEnd, j.user, job{})
+		// replication fan-out: every cache applies this interaction's writes
+		if cfg.Replication && j.writes > 0 && c.ApplyPerTxn > 0 {
+			for sid := range webs {
+				webs[sid].queue = append(webs[sid].queue, job{user: -1, size: draw(c.ApplyPerTxn * j.writes)})
+				startWeb(sid)
+			}
+		}
+	}
+
+	for u := 0; u < nUsers; u++ {
+		push(r.Float64()*cfg.ThinkTime, evThinkEnd, u, job{})
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		now = ev.at
+		if now > cfg.Duration {
+			break
+		}
+		switch ev.kind {
+		case evThinkEnd:
+			u := ev.who
+			in := tpcw.Pick(cfg.Workload, r)
+			j := job{
+				user:    u,
+				size:    draw(c.Web[in]),
+				started: now,
+				backend: c.Backend[in],
+				writes:  c.Writes[in],
+			}
+			if cfg.Replication && j.writes > 0 {
+				j.backend += c.ReaderPerTxn * j.writes
+			}
+			sid := u % cfg.Servers
+			webs[sid].queue = append(webs[sid].queue, j)
+			startWeb(sid)
+		case evWebDone:
+			sid := ev.who
+			webs[sid].inUse--
+			j := ev.j
+			if j.user < 0 {
+				// replication apply work: pure CPU load, nothing follows
+				startWeb(sid)
+				continue
+			}
+			if j.backend > 0 {
+				bj := j
+				bj.size = draw(j.backend)
+				bj.backend = 0
+				backend.queue = append(backend.queue, bj)
+				startBackend()
+			} else {
+				complete(j)
+			}
+			startWeb(sid)
+		case evBackendDone:
+			backend.inUse--
+			complete(ev.j)
+			startBackend()
+		}
+	}
+
+	window := cfg.Duration - measStart
+	res := Result{Completed: completed}
+	if window > 0 {
+		res.WIPS = float64(completed) / window
+		res.BackendUtil = backend.busyAcc / (window * float64(backend.servers))
+		var webBusy float64
+		for _, s := range webs {
+			webBusy += s.busyAcc
+		}
+		res.WebUtil = webBusy / (window * float64(cfg.Servers))
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		res.P90Latency = latencies[int(0.9*float64(len(latencies)-1))]
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / float64(len(latencies))
+	}
+	return res
+}
+
+// LatencyLimit is the benchmark's 90th-percentile response-time bound
+// (typically three seconds, §6.1).
+const LatencyLimit = 3.0
+
+// UtilCap is the paper's 90% CPU ceiling for the bottleneck server.
+const UtilCap = 0.90
+
+// FindMaxThroughput searches for the largest users-per-server load whose
+// p90 latency stays within the benchmark limit and whose bottleneck server
+// stays at or under the 90% CPU cap — the paper's §6.2 methodology
+// ("steadily increasing the number of users per web server until the
+// response latency requirements ... were barely met").
+func FindMaxThroughput(c Costs, cfg Config, cacheMode bool) (int, Result) {
+	ok := func(r Result) bool {
+		if r.P90Latency > LatencyLimit {
+			return false
+		}
+		if cacheMode {
+			return r.WebUtil <= UtilCap
+		}
+		return r.BackendUtil <= UtilCap
+	}
+	best := 0
+	var bestRes Result
+	// Exponential probe then binary search.
+	lo, hi := 1, 2
+	for {
+		cfg.UsersPerServer = hi
+		r := Simulate(c, cfg)
+		if !ok(r) {
+			break
+		}
+		best, bestRes = hi, r
+		lo = hi
+		hi *= 2
+		if hi > 1<<16 {
+			break
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		cfg.UsersPerServer = mid
+		r := Simulate(c, cfg)
+		if ok(r) {
+			best, bestRes = mid, r
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if best == 0 {
+		cfg.UsersPerServer = 1
+		bestRes = Simulate(c, cfg)
+		best = 1
+	}
+	return best, bestRes
+}

@@ -1,0 +1,224 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam // @name
+	tokOp    // operators and punctuation
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int    // byte offset in the input, for error messages
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case
+// insensitively) lex as tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "TOP": true,
+	"DISTINCT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "LIKE": true, "BETWEEN": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "CROSS": true, "ON": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
+	"VIEW": true, "CACHED": true, "MATERIALIZED": true, "PROCEDURE": true,
+	"PROC": true, "EXEC": true, "EXECUTE": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "DEFAULT": true, "BEGIN": true, "END": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"WITH": true, "FRESHNESS": true,
+}
+
+// lexer tokenizes SQL text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; the parser then walks the slice.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '@':
+		l.pos++
+		id := l.ident()
+		if id == "" {
+			return token{}, fmt.Errorf("lex: lone @ at offset %d", start)
+		}
+		return token{kind: tokParam, text: id, pos: start}, nil
+	case isIdentStart(rune(c)):
+		id := l.ident()
+		up := strings.ToUpper(id)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: id, pos: start}, nil
+	case c == '[': // SQL Server style quoted identifier
+		end := strings.IndexByte(l.src[l.pos:], ']')
+		if end < 0 {
+			return token{}, fmt.Errorf("lex: unterminated [identifier at offset %d", start)
+		}
+		id := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIdent, text: id, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.number(start)
+	case c == '\'':
+		return l.str(start)
+	default:
+		return l.operator(start)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += nl + 1
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += end + 4
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '#'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '$'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) number(start int) (token, error) {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+			l.pos += 2
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			break
+		}
+		break
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) str(start int) (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("lex: unterminated string at offset %d", start)
+}
+
+// twoCharOps are operators that must be matched greedily.
+var twoCharOps = []string{"<>", "<=", ">=", "!=", "=="}
+
+func (l *lexer) operator(start int) (token, error) {
+	rest := l.src[l.pos:]
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += 2
+			text := op
+			if op == "!=" || op == "==" {
+				if op == "!=" {
+					text = "<>"
+				} else {
+					text = "="
+				}
+			}
+			return token{kind: tokOp, text: text, pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("lex: unexpected character %q at offset %d", c, start)
+}

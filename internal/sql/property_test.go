@@ -1,0 +1,154 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtcache/internal/types"
+)
+
+// genExpr builds a random expression tree of bounded depth. The generator
+// covers every expression node the dialect has.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &Literal{Val: types.NewInt(int64(r.Intn(1000) - 500))}
+		case 1:
+			return &Literal{Val: types.NewString(randomIdent(r))}
+		case 2:
+			return &Param{Name: randomIdent(r)}
+		default:
+			return &ColumnRef{Table: "t", Name: randomIdent(r)}
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		ops := []BinOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr}
+		return &BinaryExpr{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 1:
+		return &UnaryExpr{Op: OpNot, X: genExpr(r, depth-1)}
+	case 2:
+		return &LikeExpr{X: genExpr(r, depth-1), Pattern: &Literal{Val: types.NewString("%x%")}, Not: r.Intn(2) == 0}
+	case 3:
+		in := &InExpr{X: genExpr(r, depth-1), Not: r.Intn(2) == 0}
+		for i := 0; i < r.Intn(3)+1; i++ {
+			in.List = append(in.List, &Literal{Val: types.NewInt(int64(i))})
+		}
+		return in
+	case 4:
+		return &BetweenExpr{X: genExpr(r, depth-1), Lo: genExpr(r, 0), Hi: genExpr(r, 0), Not: r.Intn(2) == 0}
+	case 5:
+		return &IsNullExpr{X: genExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 6:
+		ce := &CaseExpr{}
+		for i := 0; i < r.Intn(2)+1; i++ {
+			ce.Whens = append(ce.Whens, CaseWhen{Cond: genExpr(r, depth-1), Then: genExpr(r, 0)})
+		}
+		if r.Intn(2) == 0 {
+			ce.Else = genExpr(r, 0)
+		}
+		return ce
+	case 7:
+		return &FuncCall{Name: "UPPER", Args: []Expr{genExpr(r, depth-1)}}
+	default:
+		return genExpr(r, 0)
+	}
+}
+
+func randomIdent(r *rand.Rand) string {
+	letters := "abcdefg"
+	n := r.Intn(5) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// Property: Deparse is a fixed point after one Parse round trip —
+// Deparse(Parse(Deparse(e))) == Deparse(e) for arbitrary expressions.
+func TestDeparseParseFixedPoint(t *testing.T) {
+	r := rand.New(rand.NewSource(20030609))
+	for i := 0; i < 500; i++ {
+		e := genExpr(r, 3)
+		text1 := DeparseExpr(e)
+		parsed, err := ParseExpr(text1)
+		if err != nil {
+			t.Fatalf("generated expression does not reparse: %v\n%s", err, text1)
+		}
+		text2 := DeparseExpr(parsed)
+		if text1 != text2 {
+			t.Fatalf("not a fixed point:\n  1: %s\n  2: %s", text1, text2)
+		}
+	}
+}
+
+// Property: CloneExpr produces a tree that deparses identically but shares
+// no mutable nodes with the original.
+func TestClonePreservesDeparse(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		e := genExpr(r, 3)
+		c := CloneExpr(e)
+		if DeparseExpr(e) != DeparseExpr(c) {
+			t.Fatal("clone deparses differently")
+		}
+	}
+}
+
+// Property: statements survive the full statement-level round trip.
+func TestStatementRoundTripGenerated(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		sel := &SelectStmt{
+			Columns: []SelectItem{{Expr: genExpr(r, 2)}, {Expr: &ColumnRef{Name: "c"}, Alias: "al"}},
+			From:    []TableRef{&TableName{Name: "t", Alias: "t"}},
+			Where:   genExpr(r, 2),
+		}
+		text1 := Deparse(sel)
+		stmt, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, text1)
+		}
+		if text2 := Deparse(stmt); text1 != text2 {
+			t.Fatalf("statement not a fixed point:\n  1: %s\n  2: %s", text1, text2)
+		}
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr("(a <= 10) AND b LIKE 'x%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*BinaryExpr); !ok {
+		t.Fatalf("wrong type %T", e)
+	}
+	if _, err := ParseExpr("a <= 10 extra"); err == nil {
+		t.Error("trailing tokens should fail")
+	}
+	if _, err := ParseExpr(""); err == nil {
+		t.Error("empty expression should fail")
+	}
+}
+
+func TestFreshnessClauseRoundTrip(t *testing.T) {
+	s := MustParseSelect("SELECT a FROM t WHERE a > 1 WITH FRESHNESS 30")
+	if s.Freshness == nil {
+		t.Fatal("freshness clause lost")
+	}
+	text := Deparse(s)
+	s2 := MustParseSelect(text)
+	if s2.Freshness == nil {
+		t.Fatalf("freshness lost in round trip: %s", text)
+	}
+	if Deparse(s2) != text {
+		t.Error("freshness deparse not stable")
+	}
+	// Parameterized bound.
+	s3 := MustParseSelect("SELECT a FROM t WITH FRESHNESS @f")
+	if _, ok := s3.Freshness.(*Param); !ok {
+		t.Error("parameterized freshness bound")
+	}
+}

@@ -1,0 +1,316 @@
+// Package storage implements the in-memory storage engine: table heaps,
+// B-tree indexes, strict transactions and a write-ahead log of committed
+// changes. The log is structurally the thing SQL Server's transactional
+// replication "sniffs": the log reader agent in internal/repl reads committed
+// transactions from it in commit order (paper §2.2).
+package storage
+
+import (
+	"mtcache/internal/types"
+)
+
+// btreeOrder is the maximum number of keys per node. 64 keeps nodes around a
+// cache line multiple and the tree shallow for our table sizes.
+const btreeOrder = 64
+
+// Item is one B-tree entry: an index key plus the RowID it points at. For
+// non-unique indexes the RowID is appended to the comparison so every stored
+// entry is distinct.
+type Item struct {
+	Key types.Row
+	RID RowID
+}
+
+func cmpItem(a, b Item) int {
+	if c := types.CompareRows(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.RID < b.RID:
+		return -1
+	case a.RID > b.RID:
+		return 1
+	}
+	return 0
+}
+
+// BTree is an in-memory B+tree over Items. It is not internally synchronized;
+// the Store serializes access.
+type BTree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	items    []Item
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &node{}}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// find locates the first index in n.items >= it, and whether an exact match
+// exists at that index.
+func (n *node) find(it Item) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpItem(n.items[mid], it) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && cmpItem(n.items[lo], it) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Insert adds an entry; duplicate (key, rid) pairs are replaced.
+func (t *BTree) Insert(it Item) {
+	if len(t.root.items) >= btreeOrder {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insert(it) {
+		t.size++
+	}
+}
+
+// insert returns true if the entry is new.
+func (n *node) insert(it Item) bool {
+	i, found := n.find(it)
+	if found {
+		n.items[i] = it
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, Item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = it
+		return true
+	}
+	if len(n.children[i].items) >= btreeOrder {
+		n.splitChild(i)
+		switch c := cmpItem(it, n.items[i]); {
+		case c == 0:
+			n.items[i] = it
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insert(it)
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.items) / 2
+	median := child.items[mid]
+	right := &node{items: append([]Item(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, Item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes the entry equal to it (key and rid both matching).
+// It reports whether an entry was removed.
+func (t *BTree) Delete(it Item) bool {
+	if !t.root.delete(it) {
+		return false
+	}
+	t.size--
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	return true
+}
+
+const minItems = btreeOrder / 2
+
+func (n *node) delete(it Item) bool {
+	i, found := n.find(it)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// CLRS case 2: the key lives in this internal node.
+		left, right := n.children[i], n.children[i+1]
+		if len(left.items) > minItems {
+			pred := left.max()
+			n.items[i] = pred
+			return left.delete(pred)
+		}
+		if len(right.items) > minItems {
+			succ := right.min()
+			n.items[i] = succ
+			return right.delete(succ)
+		}
+		// Merge left + separator + right, then delete from the merged node.
+		left.items = append(left.items, n.items[i])
+		left.items = append(left.items, right.items...)
+		left.children = append(left.children, right.children...)
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		n.children = append(n.children[:i+1], n.children[i+2:]...)
+		return left.delete(it)
+	}
+	// CLRS case 3: descend, topping up the child first so it cannot underflow.
+	n.ensureChild(i)
+	j, _ := n.find(it)
+	return n.children[j].delete(it)
+}
+
+func (n *node) max() Item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *node) min() Item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// ensureChild guarantees children[i] has more than minItems entries so a
+// recursive delete cannot underflow it.
+func (n *node) ensureChild(i int) {
+	if len(n.children[i].items) > minItems {
+		return
+	}
+	switch {
+	case i > 0 && len(n.children[i-1].items) > minItems:
+		// borrow from left sibling
+		child, left := n.children[i], n.children[i-1]
+		child.items = append([]Item{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
+		// borrow from right sibling
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+	default:
+		// merge with a sibling
+		if i == len(n.children)-1 {
+			i--
+		}
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		child.items = append(child.items, right.items...)
+		child.children = append(child.children, right.children...)
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		n.children = append(n.children[:i+1], n.children[i+2:]...)
+	}
+}
+
+// Get returns the RowIDs of all entries whose key equals key exactly.
+func (t *BTree) Get(key types.Row) []RowID {
+	var out []RowID
+	t.AscendRange(key, key, func(it Item) bool {
+		out = append(out, it.RID)
+		return true
+	})
+	return out
+}
+
+// Ascend visits all entries in key order.
+func (t *BTree) Ascend(fn func(Item) bool) {
+	t.root.ascend(Item{}, false, fn)
+}
+
+// AscendGE visits entries with key >= from (by key prefix comparison).
+func (t *BTree) AscendGE(from types.Row, fn func(Item) bool) {
+	t.root.ascend(Item{Key: from, RID: -1 << 62}, true, fn)
+}
+
+// AscendRange visits entries whose key prefix is within [lo, hi]. Keys are
+// compared only on the first len(lo)/len(hi) columns, so a multi-column
+// index supports prefix range scans.
+func (t *BTree) AscendRange(lo, hi types.Row, fn func(Item) bool) {
+	t.AscendGE(lo, func(it Item) bool {
+		prefix := it.Key
+		if len(hi) < len(prefix) {
+			prefix = prefix[:len(hi)]
+		}
+		if types.CompareRows(prefix, hi) > 0 {
+			return false
+		}
+		return fn(it)
+	})
+}
+
+func (n *node) ascend(from Item, bounded bool, fn func(Item) bool) bool {
+	start := 0
+	if bounded {
+		start, _ = n.find(from)
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.leaf() {
+			b := bounded && i == start
+			if !n.children[i].ascend(from, b, fn) {
+				return false
+			}
+		}
+		if i < len(n.items) {
+			if !fn(n.items[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Min returns the smallest entry, or a zero Item if empty.
+func (t *BTree) Min() (Item, bool) {
+	n := t.root
+	if len(n.items) == 0 {
+		return Item{}, false
+	}
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0], true
+}
+
+// Max returns the largest entry, or a zero Item if empty.
+func (t *BTree) Max() (Item, bool) {
+	if len(t.root.items) == 0 {
+		return Item{}, false
+	}
+	return t.root.max(), true
+}

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mtcache/internal/types"
+)
+
+func intItem(k int64, rid RowID) Item {
+	return Item{Key: types.Row{types.NewInt(k)}, RID: rid}
+}
+
+func TestBTreeInsertGet(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 1000; i++ {
+		bt.Insert(intItem(i, RowID(i)))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("len %d", bt.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		rids := bt.Get(types.Row{types.NewInt(i)})
+		if len(rids) != 1 || rids[0] != RowID(i) {
+			t.Fatalf("get %d: %v", i, rids)
+		}
+	}
+	if rids := bt.Get(types.Row{types.NewInt(5000)}); len(rids) != 0 {
+		t.Error("missing key returned rows")
+	}
+}
+
+func TestBTreeDuplicateKeysDistinctRIDs(t *testing.T) {
+	bt := NewBTree()
+	for rid := RowID(0); rid < 10; rid++ {
+		bt.Insert(intItem(7, rid))
+	}
+	rids := bt.Get(types.Row{types.NewInt(7)})
+	if len(rids) != 10 {
+		t.Fatalf("want 10 rids, got %d", len(rids))
+	}
+}
+
+func TestBTreeDeleteAll(t *testing.T) {
+	bt := NewBTree()
+	const n = 500
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	for _, i := range perm {
+		bt.Insert(intItem(int64(i), RowID(i)))
+	}
+	perm2 := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm2 {
+		if !bt.Delete(intItem(int64(i), RowID(i))) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("len after delete-all: %d", bt.Len())
+	}
+	if _, ok := bt.Min(); ok {
+		t.Error("empty tree has a min")
+	}
+}
+
+func TestBTreeDeleteMissing(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert(intItem(1, 1))
+	if bt.Delete(intItem(2, 2)) {
+		t.Error("deleting absent item reported true")
+	}
+	if bt.Delete(intItem(1, 99)) {
+		t.Error("same key, different rid should not delete")
+	}
+	if bt.Len() != 1 {
+		t.Error("len changed")
+	}
+}
+
+func TestBTreeAscendOrder(t *testing.T) {
+	bt := NewBTree()
+	vals := rand.New(rand.NewSource(1)).Perm(2000)
+	for _, v := range vals {
+		bt.Insert(intItem(int64(v), RowID(v)))
+	}
+	var got []int64
+	bt.Ascend(func(it Item) bool {
+		got = append(got, it.Key[0].Int())
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("ascend not sorted")
+	}
+	if len(got) != 2000 {
+		t.Fatalf("visited %d", len(got))
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(intItem(i, RowID(i)))
+	}
+	var got []int64
+	bt.AscendRange(types.Row{types.NewInt(10)}, types.Row{types.NewInt(20)}, func(it Item) bool {
+		got = append(got, it.Key[0].Int())
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("range scan got %v", got)
+	}
+}
+
+func TestBTreeAscendGEStopsEarly(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(intItem(i, RowID(i)))
+	}
+	count := 0
+	bt.AscendGE(types.Row{types.NewInt(95)}, func(it Item) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeCompositeKeyPrefixScan(t *testing.T) {
+	bt := NewBTree()
+	// key = (category, id)
+	for cat := int64(0); cat < 5; cat++ {
+		for id := int64(0); id < 20; id++ {
+			bt.Insert(Item{Key: types.Row{types.NewInt(cat), types.NewInt(id)}, RID: RowID(cat*100 + id)})
+		}
+	}
+	var got int
+	lo := types.Row{types.NewInt(2)}
+	hi := types.Row{types.NewInt(2)}
+	bt.AscendRange(lo, hi, func(it Item) bool {
+		if it.Key[0].Int() != 2 {
+			t.Fatalf("prefix scan leaked key %v", it.Key)
+		}
+		got++
+		return true
+	})
+	if got != 20 {
+		t.Fatalf("prefix scan found %d", got)
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTree()
+	for _, v := range []int64{5, 3, 9, 1, 7} {
+		bt.Insert(intItem(v, RowID(v)))
+	}
+	mn, _ := bt.Min()
+	mx, _ := bt.Max()
+	if mn.Key[0].Int() != 1 || mx.Key[0].Int() != 9 {
+		t.Fatalf("min=%v max=%v", mn.Key, mx.Key)
+	}
+}
+
+// Property: a B-tree behaves like a sorted set under random insert/delete.
+func TestBTreeMatchesReferenceModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		bt := NewBTree()
+		ref := map[int64]bool{}
+		for _, op := range ops {
+			k := int64(op) % 50
+			if k < 0 {
+				k = -k
+			}
+			if op%2 == 0 {
+				bt.Insert(intItem(k, RowID(k)))
+				ref[k] = true
+			} else {
+				bt.Delete(intItem(k, RowID(k)))
+				delete(ref, k)
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if len(bt.Get(types.Row{types.NewInt(k)})) != 1 {
+				return false
+			}
+		}
+		// ordered iteration matches sorted reference keys
+		var keys []int64
+		bt.Ascend(func(it Item) bool { keys = append(keys, it.Key[0].Int()); return true })
+		if len(keys) != len(ref) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stress the rebalancing paths with a large interleaved workload.
+func TestBTreeChurn(t *testing.T) {
+	bt := NewBTree()
+	r := rand.New(rand.NewSource(99))
+	live := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		k := int64(r.Intn(3000))
+		if live[k] {
+			if !bt.Delete(intItem(k, RowID(k))) {
+				t.Fatalf("churn delete %d failed at step %d", k, i)
+			}
+			delete(live, k)
+		} else {
+			bt.Insert(intItem(k, RowID(k)))
+			live[k] = true
+		}
+	}
+	if bt.Len() != len(live) {
+		t.Fatalf("len %d want %d", bt.Len(), len(live))
+	}
+	prev := int64(-1)
+	bt.Ascend(func(it Item) bool {
+		k := it.Key[0].Int()
+		if k <= prev {
+			t.Fatalf("order violation: %d after %d", k, prev)
+		}
+		prev = k
+		return true
+	})
+}

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/types"
+)
+
+// Store is the storage manager for one database: a set of table heaps, the
+// WAL, and transaction control. Concurrency model: strict two-phase locking
+// at store granularity — read transactions share, write transactions are
+// exclusive. This gives serializability with a simple proof, which is what
+// the replication layer's "transactionally consistent but possibly stale"
+// guarantee (paper §3) is built on.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*TableData
+	wal    *WAL
+	nextTx int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*TableData), wal: NewWAL()}
+}
+
+// WAL exposes the log for the replication reader.
+func (s *Store) WAL() *WAL { return s.wal }
+
+// CreateTable allocates storage for a catalog table definition.
+func (s *Store) CreateTable(meta *catalog.Table) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := keyName(meta.Name)
+	if _, ok := s.tables[k]; ok {
+		return fmt.Errorf("storage: table %s already exists", meta.Name)
+	}
+	s.tables[k] = newTableData(meta)
+	return nil
+}
+
+// DropTable releases a table's storage.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := keyName(name)
+	if _, ok := s.tables[k]; !ok {
+		return fmt.Errorf("storage: table %s does not exist", name)
+	}
+	delete(s.tables, k)
+	return nil
+}
+
+// AddIndex builds an index over existing rows.
+func (s *Store) AddIndex(table string, idx *catalog.Index) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	td, ok := s.tables[keyName(table)]
+	if !ok {
+		return fmt.Errorf("storage: table %s does not exist", table)
+	}
+	td.addIndexLocked(idx)
+	return nil
+}
+
+// Table returns the storage for a table, or nil. The caller must hold a
+// transaction (read or write) spanning all access to the returned data.
+func (s *Store) Table(name string) *TableData {
+	return s.tables[keyName(name)]
+}
+
+// Txn is an open transaction. All reads and writes of table data must happen
+// between Begin and Commit/Abort.
+type Txn struct {
+	s       *Store
+	id      int64
+	write   bool
+	done    bool
+	changes []ChangeRec // redo, for the WAL
+	undo    []undoRec
+}
+
+type undoRec struct {
+	table *TableData
+	op    ChangeOp
+	rid   RowID
+	old   types.Row // for delete/update undo
+}
+
+// Begin opens a transaction. write=true takes the exclusive lock.
+func (s *Store) Begin(write bool) *Txn {
+	if write {
+		s.mu.Lock()
+	} else {
+		s.mu.RLock()
+	}
+	return &Txn{s: s, id: atomic.AddInt64(&s.nextTx, 1), write: write}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+// IsWrite reports whether this is a write transaction.
+func (t *Txn) IsWrite() bool { return t.write }
+
+func (t *Txn) table(name string) (*TableData, error) {
+	td := t.s.tables[keyName(name)]
+	if td == nil {
+		return nil, fmt.Errorf("storage: table %s does not exist", name)
+	}
+	return td, nil
+}
+
+// Get returns table storage for reading within this transaction.
+func (t *Txn) Table(name string) *TableData {
+	return t.s.tables[keyName(name)]
+}
+
+// Insert adds a row to a table.
+func (t *Txn) Insert(table string, row types.Row) (RowID, error) {
+	if err := t.writable(); err != nil {
+		return 0, err
+	}
+	td, err := t.table(table)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := td.insert(row)
+	if err != nil {
+		return 0, err
+	}
+	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpInsert, After: row.Clone()})
+	t.undo = append(t.undo, undoRec{table: td, op: OpInsert, rid: rid})
+	return rid, nil
+}
+
+// Delete removes the row at rid.
+func (t *Txn) Delete(table string, rid RowID) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
+	td, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	old, err := td.delete(rid)
+	if err != nil {
+		return err
+	}
+	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpDelete, Before: old.Clone()})
+	t.undo = append(t.undo, undoRec{table: td, op: OpDelete, rid: rid, old: old})
+	return nil
+}
+
+// Update replaces the row at rid.
+func (t *Txn) Update(table string, rid RowID, newRow types.Row) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
+	td, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	old, err := td.update(rid, newRow)
+	if err != nil {
+		return err
+	}
+	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpUpdate, Before: old.Clone(), After: newRow.Clone()})
+	t.undo = append(t.undo, undoRec{table: td, op: OpUpdate, rid: rid, old: old})
+	return nil
+}
+
+func (t *Txn) writable() error {
+	if t.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	if !t.write {
+		return fmt.Errorf("storage: write in read-only transaction")
+	}
+	return nil
+}
+
+// Commit finishes the transaction, logging its changes. The returned LSN is
+// 0 for read-only or changeless transactions. logged=false suppresses the
+// WAL append (used by the replication subscriber's apply path: replicated
+// changes must not re-enter the local log and echo back).
+func (t *Txn) Commit() (LSN, error) {
+	return t.commit(true)
+}
+
+// CommitUnlogged commits without writing the WAL.
+func (t *Txn) CommitUnlogged() error {
+	_, err := t.commit(false)
+	return err
+}
+
+func (t *Txn) commit(logged bool) (LSN, error) {
+	if t.done {
+		return 0, fmt.Errorf("storage: transaction already finished")
+	}
+	t.done = true
+	var lsn LSN
+	if t.write {
+		if logged && len(t.changes) > 0 {
+			lsn = t.s.wal.Append(t.id, time.Now(), t.changes)
+		}
+		t.s.mu.Unlock()
+	} else {
+		t.s.mu.RUnlock()
+	}
+	return lsn, nil
+}
+
+// Abort rolls back all changes made by the transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.write {
+		for i := len(t.undo) - 1; i >= 0; i-- {
+			u := t.undo[i]
+			switch u.op {
+			case OpInsert:
+				// Ignore errors: the row must exist because we hold the lock.
+				_, _ = u.table.delete(u.rid)
+			case OpDelete:
+				// Restore into the same slot.
+				u.table.rows[u.rid] = u.old
+				u.table.count++
+				if n := len(u.table.free); n > 0 && u.table.free[n-1] == u.rid {
+					u.table.free = u.table.free[:n-1]
+				}
+				for _, id := range u.table.indexes {
+					id.tree.Insert(Item{Key: indexKey(u.old, id.meta.Columns), RID: u.rid})
+				}
+			case OpUpdate:
+				_, _ = u.table.update(u.rid, u.old)
+			}
+		}
+		t.s.mu.Unlock()
+	} else {
+		t.s.mu.RUnlock()
+	}
+}

@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"fmt"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/types"
+)
+
+// RowID addresses a row slot within one table's heap.
+type RowID int64
+
+// TableData is the physical storage for one table (or materialized view):
+// a slotted heap plus its indexes. All mutation goes through a Txn so every
+// committed change lands in the WAL.
+type TableData struct {
+	meta    *catalog.Table
+	rows    []types.Row // slot = RowID; nil marks a free slot
+	free    []RowID
+	count   int
+	indexes map[string]*indexData
+}
+
+type indexData struct {
+	meta *catalog.Index
+	tree *BTree
+}
+
+func newTableData(meta *catalog.Table) *TableData {
+	td := &TableData{meta: meta, indexes: make(map[string]*indexData)}
+	if len(meta.PrimaryKey) > 0 {
+		td.indexes["__pk"] = &indexData{
+			meta: &catalog.Index{Name: "__pk", Table: meta.Name, Columns: meta.PrimaryKey, Unique: true},
+			tree: NewBTree(),
+		}
+	}
+	for _, idx := range meta.Indexes {
+		td.addIndexLocked(idx)
+	}
+	return td
+}
+
+func (td *TableData) addIndexLocked(idx *catalog.Index) {
+	id := &indexData{meta: idx, tree: NewBTree()}
+	for rid, row := range td.rows {
+		if row != nil {
+			id.tree.Insert(Item{Key: indexKey(row, idx.Columns), RID: RowID(rid)})
+		}
+	}
+	td.indexes[keyName(idx.Name)] = id
+}
+
+func keyName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func indexKey(row types.Row, cols []int) types.Row {
+	k := make(types.Row, len(cols))
+	for i, c := range cols {
+		k[i] = row[c]
+	}
+	return k
+}
+
+// Count returns the number of live rows.
+func (td *TableData) Count() int { return td.count }
+
+// Meta returns the catalog definition this data belongs to.
+func (td *TableData) Meta() *catalog.Table { return td.meta }
+
+// Get returns the row at rid, or nil if the slot is free.
+func (td *TableData) Get(rid RowID) types.Row {
+	if rid < 0 || int(rid) >= len(td.rows) {
+		return nil
+	}
+	return td.rows[rid]
+}
+
+// Cap returns the heap slot count (upper bound for cursor iteration).
+func (td *TableData) Cap() int { return len(td.rows) }
+
+// At returns the row in slot i, or nil if the slot is free. It is the
+// cursor-style access used by the executor's Scan operator.
+func (td *TableData) At(i int) types.Row {
+	return td.rows[i]
+}
+
+// Scan calls fn for every live row until fn returns false.
+func (td *TableData) Scan(fn func(RowID, types.Row) bool) {
+	for rid, row := range td.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(RowID(rid), row) {
+			return
+		}
+	}
+}
+
+// Index returns the named index's tree, or the primary-key index for "__pk".
+func (td *TableData) Index(name string) *BTree {
+	if id := td.indexes[keyName(name)]; id != nil {
+		return id.tree
+	}
+	return nil
+}
+
+// IndexMeta returns the catalog definition of a stored index.
+func (td *TableData) IndexMeta(name string) *catalog.Index {
+	if id := td.indexes[keyName(name)]; id != nil {
+		return id.meta
+	}
+	return nil
+}
+
+// PKLookup finds the RowID of the row with the given primary-key values,
+// or -1 if absent (or the table has no primary key).
+func (td *TableData) PKLookup(key types.Row) RowID {
+	pk := td.indexes["__pk"]
+	if pk == nil {
+		return -1
+	}
+	rids := pk.tree.Get(key)
+	if len(rids) == 0 {
+		return -1
+	}
+	return rids[0]
+}
+
+// insert adds a row, enforcing unique constraints. Caller holds the store lock.
+func (td *TableData) insert(row types.Row) (RowID, error) {
+	if len(row) != len(td.meta.Columns) {
+		return 0, fmt.Errorf("storage: %s: row has %d values, table has %d columns", td.meta.Name, len(row), len(td.meta.Columns))
+	}
+	for _, id := range td.indexes {
+		if !id.meta.Unique {
+			continue
+		}
+		k := indexKey(row, id.meta.Columns)
+		if len(id.tree.Get(k)) > 0 {
+			return 0, fmt.Errorf("storage: %s: duplicate key %v for unique index %s", td.meta.Name, k, id.meta.Name)
+		}
+	}
+	var rid RowID
+	if n := len(td.free); n > 0 {
+		rid = td.free[n-1]
+		td.free = td.free[:n-1]
+		td.rows[rid] = row
+	} else {
+		rid = RowID(len(td.rows))
+		td.rows = append(td.rows, row)
+	}
+	td.count++
+	for _, id := range td.indexes {
+		id.tree.Insert(Item{Key: indexKey(row, id.meta.Columns), RID: rid})
+	}
+	return rid, nil
+}
+
+// delete removes the row at rid, returning the old row.
+func (td *TableData) delete(rid RowID) (types.Row, error) {
+	row := td.Get(rid)
+	if row == nil {
+		return nil, fmt.Errorf("storage: %s: delete of missing row %d", td.meta.Name, rid)
+	}
+	for _, id := range td.indexes {
+		id.tree.Delete(Item{Key: indexKey(row, id.meta.Columns), RID: rid})
+	}
+	td.rows[rid] = nil
+	td.free = append(td.free, rid)
+	td.count--
+	return row, nil
+}
+
+// update replaces the row at rid, enforcing unique constraints.
+func (td *TableData) update(rid RowID, newRow types.Row) (types.Row, error) {
+	old := td.Get(rid)
+	if old == nil {
+		return nil, fmt.Errorf("storage: %s: update of missing row %d", td.meta.Name, rid)
+	}
+	if len(newRow) != len(td.meta.Columns) {
+		return nil, fmt.Errorf("storage: %s: row width mismatch", td.meta.Name)
+	}
+	for _, id := range td.indexes {
+		if !id.meta.Unique {
+			continue
+		}
+		nk := indexKey(newRow, id.meta.Columns)
+		ok := indexKey(old, id.meta.Columns)
+		if types.CompareRows(nk, ok) == 0 {
+			continue
+		}
+		if len(id.tree.Get(nk)) > 0 {
+			return nil, fmt.Errorf("storage: %s: duplicate key %v for unique index %s", td.meta.Name, nk, id.meta.Name)
+		}
+	}
+	for _, id := range td.indexes {
+		ok := indexKey(old, id.meta.Columns)
+		nk := indexKey(newRow, id.meta.Columns)
+		if types.CompareRows(nk, ok) != 0 {
+			id.tree.Delete(Item{Key: ok, RID: rid})
+			id.tree.Insert(Item{Key: nk, RID: rid})
+		}
+	}
+	td.rows[rid] = newRow
+	return old, nil
+}
+
+// Rows returns a snapshot copy of all live rows (used for statistics builds
+// and view population).
+func (td *TableData) Rows() []types.Row {
+	out := make([]types.Row, 0, td.count)
+	for _, r := range td.rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

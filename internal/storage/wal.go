@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"sync"
+	"time"
+
+	"mtcache/internal/types"
+)
+
+// LSN is a log sequence number: the commit order of transactions.
+type LSN int64
+
+// ChangeOp enumerates the row-level change kinds recorded in the log.
+type ChangeOp uint8
+
+const (
+	OpInsert ChangeOp = iota
+	OpDelete
+	OpUpdate
+)
+
+func (o ChangeOp) String() string {
+	switch o {
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpUpdate:
+		return "UPDATE"
+	}
+	return "?"
+}
+
+// ChangeRec is one row-level change, with full before/after images so the
+// replication article filter can evaluate predicates and projections on it.
+type ChangeRec struct {
+	Table  string
+	Op     ChangeOp
+	Before types.Row
+	After  types.Row
+}
+
+// CommitRecord is one committed transaction in the log.
+type CommitRecord struct {
+	LSN        LSN
+	TxnID      int64
+	CommitTime time.Time
+	Changes    []ChangeRec
+}
+
+// WAL is the in-memory write-ahead log of committed transactions, in commit
+// order. The replication log reader consumes it exactly as SQL Server's log
+// reader agent consumes the transaction log (paper §2.2: "changes to a
+// published table or view are collected by log sniffing").
+//
+// Entries are retained until Truncate; the distributor truncates once all
+// subscribers have received a transaction.
+type WAL struct {
+	mu    sync.Mutex
+	recs  []CommitRecord
+	first LSN // LSN of recs[0]
+	next  LSN
+}
+
+// NewWAL returns an empty log whose first LSN is 1.
+func NewWAL() *WAL {
+	return &WAL{first: 1, next: 1}
+}
+
+// Append adds a committed transaction and returns its LSN.
+func (w *WAL) Append(txnID int64, commitTime time.Time, changes []ChangeRec) LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.next
+	w.next++
+	w.recs = append(w.recs, CommitRecord{LSN: lsn, TxnID: txnID, CommitTime: commitTime, Changes: changes})
+	return lsn
+}
+
+// ReadFrom returns up to max commit records with LSN >= from, in order.
+// max <= 0 means no limit.
+func (w *WAL) ReadFrom(from LSN, max int) []CommitRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if from < w.first {
+		from = w.first
+	}
+	start := int(from - w.first)
+	if start >= len(w.recs) {
+		return nil
+	}
+	out := w.recs[start:]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return append([]CommitRecord(nil), out...)
+}
+
+// Truncate discards records with LSN < upTo.
+func (w *WAL) Truncate(upTo LSN) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if upTo <= w.first {
+		return
+	}
+	if upTo > w.next {
+		upTo = w.next
+	}
+	w.recs = append([]CommitRecord(nil), w.recs[upTo-w.first:]...)
+	w.first = upTo
+}
+
+// End returns the LSN the next commit will receive.
+func (w *WAL) End() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next
+}
+
+// Len returns the number of retained commit records.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.recs)
+}

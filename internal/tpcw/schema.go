@@ -1,0 +1,169 @@
+// Package tpcw implements the TPC-W transactional web benchmark as used in
+// the paper's evaluation (§6): the bookstore schema, a deterministic data
+// generator, the benchmark's stored procedures, the fourteen web
+// interactions, and the three workload mixes (Browsing, Shopping, Ordering).
+//
+// The paper ran a Microsoft-internal TPC-W kit on IIS; here the application
+// layer is Go code issuing the same stored-procedure calls through a
+// core.Conn, so the exact same interaction code runs against the backend or
+// against a cache — the transparency property under test.
+package tpcw
+
+import "fmt"
+
+// SchemaDDL creates the TPC-W tables and indexes. Column sets are trimmed
+// to those the benchmark queries touch, but every TPC-W table is present.
+const SchemaDDL = `
+CREATE TABLE country (
+	co_id INT PRIMARY KEY,
+	co_name VARCHAR(50) NOT NULL
+);
+
+CREATE TABLE address (
+	addr_id INT PRIMARY KEY,
+	addr_street1 VARCHAR(40),
+	addr_city VARCHAR(30),
+	addr_state VARCHAR(20),
+	addr_zip VARCHAR(10),
+	addr_co_id INT
+);
+
+CREATE TABLE customer (
+	c_id INT PRIMARY KEY,
+	c_uname VARCHAR(20) NOT NULL,
+	c_passwd VARCHAR(20),
+	c_fname VARCHAR(17),
+	c_lname VARCHAR(17),
+	c_addr_id INT,
+	c_email VARCHAR(50),
+	c_since DATETIME,
+	c_last_login DATETIME,
+	c_discount FLOAT,
+	c_balance FLOAT,
+	c_ytd_pmt FLOAT
+);
+CREATE UNIQUE INDEX ix_customer_uname ON customer (c_uname);
+
+CREATE TABLE author (
+	a_id INT PRIMARY KEY,
+	a_fname VARCHAR(20),
+	a_lname VARCHAR(20)
+);
+CREATE INDEX ix_author_lname ON author (a_lname);
+
+CREATE TABLE item (
+	i_id INT PRIMARY KEY,
+	i_title VARCHAR(60) NOT NULL,
+	i_a_id INT,
+	i_pub_date DATETIME,
+	i_publisher VARCHAR(60),
+	i_subject VARCHAR(60),
+	i_desc VARCHAR(100),
+	i_related1 INT,
+	i_stock INT,
+	i_cost FLOAT,
+	i_srp FLOAT
+);
+CREATE INDEX ix_item_subject ON item (i_subject);
+CREATE INDEX ix_item_a_id ON item (i_a_id);
+CREATE INDEX ix_item_pub_date ON item (i_pub_date);
+
+CREATE TABLE orders (
+	o_id INT PRIMARY KEY,
+	o_c_id INT,
+	o_date DATETIME,
+	o_sub_total FLOAT,
+	o_total FLOAT,
+	o_ship_type VARCHAR(10),
+	o_status VARCHAR(15)
+);
+CREATE INDEX ix_orders_c_id ON orders (o_c_id);
+
+CREATE TABLE order_line (
+	ol_o_id INT,
+	ol_id INT,
+	ol_i_id INT,
+	ol_qty INT,
+	ol_discount FLOAT,
+	PRIMARY KEY (ol_o_id, ol_id)
+);
+CREATE INDEX ix_order_line_i_id ON order_line (ol_i_id);
+
+CREATE TABLE cc_xacts (
+	cx_o_id INT PRIMARY KEY,
+	cx_type VARCHAR(10),
+	cx_num VARCHAR(20),
+	cx_name VARCHAR(30),
+	cx_xact_amt FLOAT,
+	cx_xact_date DATETIME
+);
+
+CREATE TABLE shopping_cart (
+	sc_id INT PRIMARY KEY,
+	sc_time DATETIME
+);
+
+CREATE TABLE shopping_cart_line (
+	scl_sc_id INT,
+	scl_i_id INT,
+	scl_qty INT,
+	PRIMARY KEY (scl_sc_id, scl_i_id)
+);
+`
+
+// Subjects are the 24 TPC-W item subjects (catalog categories).
+var Subjects = []string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+	"HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+	"NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+	"ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+	"YOUTH", "TRAVEL",
+}
+
+// Config scales the database. The paper used 10,000 items and 10,000
+// emulated users (→ 28.8M customers); laptop-scale runs shrink both while
+// keeping the spec's table-size ratios (customers = 2880·EBs scaled by
+// CustomerScale, orders ≈ 0.9·customers, ~3 lines per order).
+type Config struct {
+	Items     int
+	Customers int
+	// OrdersPerCustomer defaults to 0.9 (spec initial population).
+	OrdersPerCustomer float64
+	// Seed makes data generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig is a laptop-scale configuration that keeps the spec ratios.
+func DefaultConfig() Config {
+	return Config{Items: 1000, Customers: 2880, OrdersPerCustomer: 0.9, Seed: 20030609}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Items <= 0 || c.Customers <= 0 {
+		return fmt.Errorf("tpcw: Items and Customers must be positive")
+	}
+	return nil
+}
+
+// numOrders derives the initial order count.
+func (c Config) numOrders() int {
+	f := c.OrdersPerCustomer
+	if f == 0 {
+		f = 0.9
+	}
+	n := int(float64(c.Customers) * f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// numAuthors derives the author count (spec: items/4, min 1).
+func (c Config) numAuthors() int {
+	n := c.Items / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

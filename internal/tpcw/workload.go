@@ -1,0 +1,94 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload is one of the benchmark's three interaction mixes.
+type Workload uint8
+
+const (
+	// Browsing is 95% Browse / 5% Order activity (WIPSb).
+	Browsing Workload = iota
+	// Shopping is 80% Browse / 20% Order — the benchmark's main mix (WIPS).
+	Shopping
+	// Ordering is 50% Browse / 50% Order (WIPSo).
+	Ordering
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Browsing:
+		return "Browsing"
+	case Shopping:
+		return "Shopping"
+	case Ordering:
+		return "Ordering"
+	}
+	return fmt.Sprintf("Workload(%d)", uint8(w))
+}
+
+// Workloads lists the three mixes in paper order.
+func Workloads() []Workload { return []Workload{Browsing, Shopping, Ordering} }
+
+// mixes holds the per-interaction percentages from the TPC-W specification.
+// Each row sums to 100. The Browse-class share matches the paper's table:
+// Browsing 95/5, Shopping 80/20, Ordering 50/50.
+var mixes = map[Workload][numInteractions]float64{
+	Browsing: {
+		Home: 29.00, NewProducts: 11.00, BestSellers: 11.00, ProductDetail: 21.00,
+		SearchRequest: 12.00, SearchResults: 11.00,
+		ShoppingCart: 2.00, CustomerRegistration: 0.82, BuyRequest: 0.75,
+		BuyConfirm: 0.69, OrderInquiry: 0.30, OrderDisplay: 0.25,
+		AdminRequest: 0.10, AdminConfirm: 0.09,
+	},
+	Shopping: {
+		Home: 16.00, NewProducts: 5.00, BestSellers: 5.00, ProductDetail: 17.00,
+		SearchRequest: 20.00, SearchResults: 17.00,
+		ShoppingCart: 11.60, CustomerRegistration: 3.00, BuyRequest: 2.60,
+		BuyConfirm: 1.20, OrderInquiry: 0.75, OrderDisplay: 0.66,
+		AdminRequest: 0.10, AdminConfirm: 0.09,
+	},
+	Ordering: {
+		Home: 9.12, NewProducts: 0.46, BestSellers: 0.46, ProductDetail: 12.35,
+		SearchRequest: 14.53, SearchResults: 13.08,
+		ShoppingCart: 13.53, CustomerRegistration: 12.86, BuyRequest: 12.73,
+		BuyConfirm: 10.18, OrderInquiry: 0.25, OrderDisplay: 0.22,
+		AdminRequest: 0.12, AdminConfirm: 0.11,
+	},
+}
+
+// Mix returns the interaction percentages of a workload.
+func Mix(w Workload) map[Interaction]float64 {
+	out := make(map[Interaction]float64, numInteractions)
+	for i, pct := range mixes[w] {
+		out[Interaction(i)] = pct
+	}
+	return out
+}
+
+// BrowseShare returns the percentage of Browse-class interactions in the
+// mix (the paper's §6.1 table: 95 / 80 / 50).
+func BrowseShare(w Workload) float64 {
+	var share float64
+	for i, pct := range mixes[w] {
+		if Interaction(i).IsBrowse() {
+			share += pct
+		}
+	}
+	return share
+}
+
+// Pick draws the next interaction according to the workload mix.
+func Pick(w Workload, r *rand.Rand) Interaction {
+	x := r.Float64() * 100
+	var acc float64
+	for i, pct := range mixes[w] {
+		acc += pct
+		if x < acc {
+			return Interaction(i)
+		}
+	}
+	return Home
+}

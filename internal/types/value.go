@@ -1,0 +1,367 @@
+// Package types defines the SQL value model shared by every layer of the
+// engine: the storage manager stores rows of Values, the executor evaluates
+// expressions over them, the optimizer's statistics summarize them, and the
+// wire protocol serializes them.
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the SQL data types supported by the engine.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt    // 64-bit signed integer (covers INT, BIGINT, SMALLINT)
+	KindFloat  // 64-bit float (covers FLOAT, REAL, NUMERIC in this engine)
+	KindString // variable-length string (covers CHAR, VARCHAR, TEXT)
+	KindTime   // timestamp (covers DATE, DATETIME)
+)
+
+// String returns the SQL name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindTime:
+		return "DATETIME"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind maps a SQL type name to a Kind. Unknown names report an error.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToUpper(name) {
+	case "BOOL", "BOOLEAN", "BIT":
+		return KindBool, nil
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return KindInt, nil
+	case "FLOAT", "REAL", "DOUBLE", "NUMERIC", "DECIMAL", "MONEY":
+		return KindFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "NVARCHAR", "NCHAR", "STRING":
+		return KindString, nil
+	case "DATE", "DATETIME", "TIMESTAMP", "TIME":
+		return KindTime, nil
+	}
+	return KindNull, fmt.Errorf("unknown type %q", name)
+}
+
+// Value is a single SQL value. The zero Value is SQL NULL.
+//
+// Value is a small tagged struct rather than an interface so that rows can be
+// stored as flat []Value slices with no per-value heap allocation.
+type Value struct {
+	K Kind
+	I int64 // KindBool (0/1) and KindInt payload
+	F float64
+	S string
+	T time.Time
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewBool returns a BOOL value.
+func NewBool(b bool) Value {
+	v := Value{K: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// NewInt returns an INT value.
+func NewInt(i int64) Value { return Value{K: KindInt, I: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{K: KindString, S: s} }
+
+// NewTime returns a DATETIME value.
+func NewTime(t time.Time) Value { return Value{K: KindTime, T: t} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool returns the boolean payload. It is only meaningful for KindBool.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// Int returns the integer payload, converting from FLOAT and BOOL.
+func (v Value) Int() int64 {
+	switch v.K {
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return v.I
+	}
+}
+
+// Float returns the float payload, converting from INT and BOOL.
+func (v Value) Float() float64 {
+	switch v.K {
+	case KindInt, KindBool:
+		return float64(v.I)
+	default:
+		return v.F
+	}
+}
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.S }
+
+// Time returns the time payload. It is only meaningful for KindTime.
+func (v Value) Time() time.Time { return v.T }
+
+// numericKinds reports whether both kinds are numeric (INT/FLOAT/BOOL).
+func numericKinds(a, b Kind) bool {
+	n := func(k Kind) bool { return k == KindInt || k == KindFloat || k == KindBool }
+	return n(a) && n(b)
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value (this
+// matters for index ordering; three-valued comparison semantics are handled
+// by the expression evaluator, which checks IsNull before comparing).
+// Cross-kind numeric comparisons are performed in float64.
+// Comparing incomparable kinds (e.g. INT vs VARCHAR) orders by kind, which
+// keeps Compare a total order for sorting.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.K != b.K {
+		if numericKinds(a.K, b.K) {
+			return cmpFloat(a.Float(), b.Float())
+		}
+		return int(a.K) - int(b.K)
+	}
+	switch a.K {
+	case KindBool, KindInt:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		return cmpFloat(a.F, b.F)
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	case KindTime:
+		switch {
+		case a.T.Before(b.T):
+			return -1
+		case a.T.After(b.T):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a stable hash of v, used by hash joins and hash aggregation.
+// Values that compare equal hash equal (numeric kinds hash via float64).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	switch v.K {
+	case KindNull:
+		h.Write([]byte{0})
+	case KindBool, KindInt, KindFloat:
+		var f float64
+		f = v.Float()
+		bits := math.Float64bits(f)
+		var buf [9]byte
+		buf[0] = 1
+		for i := 0; i < 8; i++ {
+			buf[i+1] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte{2})
+		h.Write([]byte(v.S))
+	case KindTime:
+		n := v.T.UnixNano()
+		var buf [9]byte
+		buf[0] = 3
+		for i := 0; i < 8; i++ {
+			buf[i+1] = byte(uint64(n) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// String renders the value for display and for shipping literals inside
+// remote SQL text (strings are quoted with ” doubling).
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case KindTime:
+		return "'" + v.T.UTC().Format("2006-01-02 15:04:05.000") + "'"
+	}
+	return "?"
+}
+
+// Display renders the value for result grids (strings unquoted).
+func (v Value) Display() string {
+	if v.K == KindString {
+		return v.S
+	}
+	return v.String()
+}
+
+// Cast converts v to kind k following SQL-ish coercion rules. Casting NULL
+// yields NULL of any kind. Failed string parses report an error.
+func (v Value) Cast(k Kind) (Value, error) {
+	if v.K == KindNull || v.K == k {
+		if v.K == KindNull {
+			return Null, nil
+		}
+		return v, nil
+	}
+	switch k {
+	case KindBool:
+		switch v.K {
+		case KindInt, KindFloat:
+			return NewBool(v.Float() != 0), nil
+		}
+	case KindInt:
+		switch v.K {
+		case KindBool:
+			return NewInt(v.I), nil
+		case KindFloat:
+			return NewInt(int64(v.F)), nil
+		case KindString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot cast %q to INT", v.S)
+			}
+			return NewInt(i), nil
+		}
+	case KindFloat:
+		switch v.K {
+		case KindBool, KindInt:
+			return NewFloat(v.Float()), nil
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot cast %q to FLOAT", v.S)
+			}
+			return NewFloat(f), nil
+		}
+	case KindString:
+		return NewString(v.Display()), nil
+	case KindTime:
+		if v.K == KindString {
+			for _, layout := range []string{
+				"2006-01-02 15:04:05.000", "2006-01-02 15:04:05", "2006-01-02",
+				time.RFC3339Nano, time.RFC3339,
+			} {
+				if t, err := time.Parse(layout, v.S); err == nil {
+					return NewTime(t), nil
+				}
+			}
+			return Null, fmt.Errorf("cannot cast %q to DATETIME", v.S)
+		}
+		if v.K == KindInt {
+			return NewTime(time.Unix(0, v.I).UTC()), nil
+		}
+	}
+	return Null, fmt.Errorf("cannot cast %s to %s", v.K, k)
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (Values are value types).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Hash returns a stable hash of the row.
+func (r Row) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range r {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RowsEqual reports element-wise equality of two rows.
+func RowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareRows orders rows lexicographically.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}

@@ -1,0 +1,182 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCompareWithinKinds(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("abc"), NewString("abd"), -1},
+		{NewString("abc"), NewString("abc"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+	}
+	for _, c := range cases {
+		got := Compare(c.a, c.b)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%v,%v)=%d want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareCrossNumeric(t *testing.T) {
+	if Compare(NewInt(2), NewFloat(2.0)) != 0 {
+		t.Error("INT 2 should equal FLOAT 2.0")
+	}
+	if Compare(NewInt(2), NewFloat(2.5)) != -1 {
+		t.Error("INT 2 should be less than FLOAT 2.5")
+	}
+	if Compare(NewBool(true), NewInt(1)) != 0 {
+		t.Error("BOOL true should equal INT 1 numerically")
+	}
+}
+
+func TestHashEqualValuesHashEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewFloat(7)},
+		{NewBool(true), NewInt(1)},
+		{NewString("x"), NewString("x")},
+	}
+	for _, p := range pairs {
+		if Compare(p[0], p[1]) == 0 && p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v,%v hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestCastRoundTrips(t *testing.T) {
+	v, err := NewString("42").Cast(KindInt)
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("cast '42' to int: %v %v", v, err)
+	}
+	v, err = NewInt(42).Cast(KindString)
+	if err != nil || v.Str() != "42" {
+		t.Fatalf("cast 42 to string: %v %v", v, err)
+	}
+	v, err = NewString("3.5").Cast(KindFloat)
+	if err != nil || v.Float() != 3.5 {
+		t.Fatalf("cast '3.5' to float: %v %v", v, err)
+	}
+	if _, err = NewString("zebra").Cast(KindInt); err == nil {
+		t.Fatal("cast 'zebra' to int should fail")
+	}
+	v, err = Null.Cast(KindInt)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("cast NULL should stay NULL: %v %v", v, err)
+	}
+	v, err = NewString("2003-06-09").Cast(KindTime)
+	if err != nil || v.Time().Year() != 2003 {
+		t.Fatalf("cast date string: %v %v", v, err)
+	}
+}
+
+func TestValueStringQuoting(t *testing.T) {
+	if got := NewString("O'Brien").String(); got != "'O''Brien'" {
+		t.Errorf("string quoting: got %s", got)
+	}
+	if got := Null.String(); got != "NULL" {
+		t.Errorf("null rendering: got %s", got)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"int": KindInt, "VARCHAR": KindString, "Float": KindFloat,
+		"datetime": KindTime, "BIT": KindBool, "decimal": KindFloat,
+	} {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q)=%v,%v want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseKind("BLOB"); err == nil {
+		t.Error("ParseKind(BLOB) should fail")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal values hash identically.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return sign(Compare(va, vb)) == -sign(Compare(vb, va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare over ints agrees with native ordering.
+func TestCompareIntAgreesWithNative(t *testing.T) {
+	f := func(a, b int64) bool {
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return sign(Compare(NewInt(a), NewInt(b))) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string values round-trip through SQL literal rendering length-safely.
+func TestStringHashStability(t *testing.T) {
+	f := func(s string) bool {
+		v := NewString(s)
+		return v.Hash() == NewString(s).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareRowsLexicographic(t *testing.T) {
+	a := Row{NewInt(1), NewString("b")}
+	b := Row{NewInt(1), NewString("c")}
+	if CompareRows(a, b) >= 0 {
+		t.Error("row a should sort before b")
+	}
+	if CompareRows(a, a) != 0 {
+		t.Error("row should equal itself")
+	}
+	short := Row{NewInt(1)}
+	if CompareRows(short, a) >= 0 {
+		t.Error("prefix row should sort first")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("clone should not alias original")
+	}
+	if !RowsEqual(r, Row{NewInt(1), NewString("x")}) {
+		t.Error("original mutated")
+	}
+}

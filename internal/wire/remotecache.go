@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/core"
+	"mtcache/internal/engine"
+	"mtcache/internal/opt"
+	"mtcache/internal/repl"
+	"mtcache/internal/sql"
+)
+
+// RemoteCache is an MTCache server connected to its backend over TCP. It
+// mirrors core.CacheServer but uses pull subscriptions: a local distribution
+// agent periodically pulls committed transactions and applies them.
+type RemoteCache struct {
+	DB     *engine.Database
+	client *Client
+
+	mu     sync.Mutex
+	pulls  []pullSub
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type pullSub struct {
+	subID    int
+	view     string
+	lastPull time.Time
+}
+
+// NewRemoteCache dials nothing itself: pass a connected Client. It performs
+// the shadow setup over the wire and registers the cached-view hook.
+func NewRemoteCache(name string, client *Client, options *opt.Options) (*RemoteCache, error) {
+	db := engine.New(engine.Config{Name: name, Role: engine.Cache, Remote: client, Options: options})
+	rc := &RemoteCache{DB: db, client: client}
+	data, err := client.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := catalog.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ImportSnapshotInto(db, snap); err != nil {
+		return nil, err
+	}
+	db.OnCachedViewCreate(rc.provision)
+	db.SetStalenessProbe(func(view string) (float64, bool) {
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		for _, p := range rc.pulls {
+			if strings.EqualFold(p.view, view) {
+				if p.lastPull.IsZero() {
+					return 0, false
+				}
+				return time.Since(p.lastPull).Seconds(), true
+			}
+		}
+		return 0, false
+	})
+	return rc, nil
+}
+
+func (rc *RemoteCache) provision(view *catalog.Table) error {
+	def := view.ViewDef
+	if len(def.From) != 1 {
+		return fmt.Errorf("wire: cached views must be select-project over one table")
+	}
+	tn, ok := def.From[0].(*sql.TableName)
+	if !ok {
+		return fmt.Errorf("wire: cached view source must be a table or materialized view")
+	}
+	var cols []string
+	for _, item := range def.Columns {
+		if item.Star {
+			cols = nil
+			break
+		}
+		ref, ok := item.Expr.(*sql.ColumnRef)
+		if !ok {
+			return fmt.Errorf("wire: cached views may project only plain columns")
+		}
+		cols = append(cols, ref.Name)
+	}
+	filter := ""
+	if def.Where != nil {
+		filter = sql.DeparseExpr(def.Where)
+	}
+	subID, rows, err := rc.client.Provision(tn.Name, cols, filter, rc.DB.Name+"."+view.Name)
+	if err != nil {
+		return err
+	}
+	// Initial population.
+	tx := rc.DB.Store().Begin(true)
+	for _, row := range rows {
+		if _, err := tx.Insert(view.Name, row); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.CommitUnlogged(); err != nil {
+		return err
+	}
+	if err := rc.DB.AnalyzeTable(view.Name); err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now()})
+	rc.mu.Unlock()
+	return nil
+}
+
+// CreateCachedView runs a CREATE CACHED VIEW statement.
+func (rc *RemoteCache) CreateCachedView(ddl string) error {
+	_, err := rc.DB.Exec(ddl, nil)
+	return err
+}
+
+// CopyProcedureText installs a procedure from source text.
+func (rc *RemoteCache) CopyProcedureText(text string) error {
+	return rc.DB.CopyProcedureFrom(text)
+}
+
+// Pull performs one pull-and-apply round for every subscription and returns
+// the number of transactions applied.
+func (rc *RemoteCache) Pull() (int, error) {
+	rc.mu.Lock()
+	pulls := append([]pullSub(nil), rc.pulls...)
+	rc.mu.Unlock()
+	total := 0
+	for i, p := range pulls {
+		batches, err := rc.client.Pull(p.subID, 0)
+		if err != nil {
+			return total, err
+		}
+		for _, b := range batches {
+			if err := rc.applyBatch(p.view, b); err != nil {
+				return total, err
+			}
+			total++
+		}
+		rc.mu.Lock()
+		if i < len(rc.pulls) {
+			rc.pulls[i].lastPull = time.Now()
+		}
+		rc.mu.Unlock()
+	}
+	return total, nil
+}
+
+func (rc *RemoteCache) applyBatch(view string, b repl.TxnBatch) error {
+	if !strings.EqualFold(b.Changes[0].Table, view) && len(b.Changes) > 0 {
+		// Change records carry the source table name; the target is the view.
+		for i := range b.Changes {
+			b.Changes[i].Table = view
+		}
+	}
+	return repl.ApplyBatch(rc.DB, view, b)
+}
+
+// StartPulling launches the background pull agent.
+func (rc *RemoteCache) StartPulling(interval time.Duration) {
+	rc.mu.Lock()
+	if rc.stopCh != nil {
+		rc.mu.Unlock()
+		return
+	}
+	rc.stopCh = make(chan struct{})
+	stop := rc.stopCh
+	rc.mu.Unlock()
+	rc.wg.Add(1)
+	go func() {
+		defer rc.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				rc.Pull() //nolint:errcheck — agent retries next tick
+			}
+		}
+	}()
+}
+
+// StopPulling halts the pull agent.
+func (rc *RemoteCache) StopPulling() {
+	rc.mu.Lock()
+	if rc.stopCh == nil {
+		rc.mu.Unlock()
+		return
+	}
+	close(rc.stopCh)
+	rc.stopCh = nil
+	rc.mu.Unlock()
+	rc.wg.Wait()
+}

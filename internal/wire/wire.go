@@ -1,0 +1,303 @@
+// Package wire implements the network transport between cache servers and
+// the backend: a length-free gob-framed TCP protocol carrying
+//
+//   - Query / Exec — the linked-server path (paper §2.1): remote
+//     subexpressions and forwarded updates travel as SQL text plus
+//     parameters, results come back as rows;
+//   - Snapshot — the shadow-database setup payload (§4);
+//   - Provision / Pull — pull subscriptions (§2.2): a cache provisions an
+//     article+subscription for a cached view, receives the initial
+//     population, and then periodically pulls committed transactions.
+//
+// The in-process transport (engine.Link) and this TCP transport implement
+// the same exec.RemoteClient interface; a cache cannot tell them apart.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mtcache/internal/core"
+	"mtcache/internal/exec"
+	"mtcache/internal/repl"
+	"mtcache/internal/sql"
+	"mtcache/internal/storage"
+	"mtcache/internal/types"
+)
+
+// reqKind enumerates request types.
+type reqKind uint8
+
+const (
+	reqQuery reqKind = iota
+	reqExec
+	reqSnapshot
+	reqProvision
+	reqPull
+)
+
+// request is one client->server frame.
+type request struct {
+	Kind   reqKind
+	SQL    string
+	Params map[string]types.Value
+
+	// Provision fields.
+	Table   string
+	Columns []string
+	Filter  string // deparsed predicate, "" = none
+	SubName string
+
+	// Pull fields.
+	SubID int
+	Max   int
+}
+
+// response is one server->client frame.
+type response struct {
+	Err  string
+	Cols []exec.ColInfo
+	Rows []types.Row
+	N    int64
+
+	Snapshot []byte
+
+	SubID    int
+	StartLSN storage.LSN
+	Batches  []repl.TxnBatch
+}
+
+// Server exposes a backend over TCP.
+type Server struct {
+	backend *core.BackendServer
+	ln      net.Listener
+
+	mu      sync.Mutex
+	subs    []*repl.Subscription
+	conns   map[net.Conn]bool
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it. The
+// chosen address is available via Addr.
+func Serve(backend *core.BackendServer, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backend: backend, ln: ln, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every active connection and waits for the
+// connection handlers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.stopped = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *request) *response {
+	resp := &response{}
+	switch req.Kind {
+	case reqQuery, reqExec:
+		res, err := s.backend.DB.Exec(req.SQL, req.Params)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Cols = res.Cols
+		resp.Rows = res.Rows
+		resp.N = res.RowsAffected
+	case reqSnapshot:
+		data, err := s.backend.Snapshot().Encode()
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Snapshot = data
+	case reqProvision:
+		var filter sql.Expr
+		if req.Filter != "" {
+			f, err := sql.ParseExpr(req.Filter)
+			if err != nil {
+				resp.Err = fmt.Sprintf("wire: bad filter: %v", err)
+				return resp
+			}
+			filter = f
+		}
+		art, err := s.backend.Repl.EnsureArticle(req.Table, req.Columns, filter)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		rows, lsn, err := s.backend.Repl.SnapshotRows(art)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		sub := s.backend.Repl.SubscribeRemote(art, req.SubName, lsn)
+		s.mu.Lock()
+		s.subs = append(s.subs, sub)
+		resp.SubID = len(s.subs) - 1
+		s.mu.Unlock()
+		resp.Rows = rows
+		resp.StartLSN = lsn
+	case reqPull:
+		s.mu.Lock()
+		if req.SubID < 0 || req.SubID >= len(s.subs) {
+			s.mu.Unlock()
+			resp.Err = "wire: unknown subscription"
+			return resp
+		}
+		sub := s.subs[req.SubID]
+		s.mu.Unlock()
+		s.backend.Repl.RunLogReader()
+		resp.Batches = s.backend.Repl.Drain(sub, req.Max)
+	default:
+		resp.Err = "wire: unknown request kind"
+	}
+	return resp
+}
+
+// Client is a TCP connection to a backend server. It implements
+// exec.RemoteClient, so an engine.Database can use it directly as its
+// backend link.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a wire server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire: server: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Query implements exec.RemoteClient.
+func (c *Client) Query(sqlText string, params exec.Params) (*exec.ResultSet, error) {
+	resp, err := c.roundTrip(&request{Kind: reqQuery, SQL: sqlText, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// Exec implements exec.RemoteClient.
+func (c *Client) Exec(sqlText string, params exec.Params) (int64, error) {
+	resp, err := c.roundTrip(&request{Kind: reqExec, SQL: sqlText, Params: params})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Snapshot fetches the backend catalog snapshot.
+func (c *Client) Snapshot() ([]byte, error) {
+	resp, err := c.roundTrip(&request{Kind: reqSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snapshot, nil
+}
+
+// Provision creates an article + pull subscription on the backend and
+// returns the subscription id plus the initial population.
+func (c *Client) Provision(table string, columns []string, filter, subName string) (int, []types.Row, error) {
+	resp, err := c.roundTrip(&request{
+		Kind: reqProvision, Table: table, Columns: columns, Filter: filter, SubName: subName,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.SubID, resp.Rows, nil
+}
+
+// Pull drains up to max pending transactions for a subscription.
+func (c *Client) Pull(subID, max int) ([]repl.TxnBatch, error) {
+	resp, err := c.roundTrip(&request{Kind: reqPull, SubID: subID, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batches, nil
+}

@@ -1,0 +1,152 @@
+// Package mtcache is a reproduction of "MTCache: Transparent Mid-Tier
+// Database Caching in SQL Server" (Larson, Goldstein, Zhou — SIGMOD 2003),
+// built as a self-contained Go library.
+//
+// The package implements the complete stack the paper describes: a
+// relational engine (parser, catalog, statistics, B-tree storage, write-
+// ahead log, cost-based optimizer, Volcano executor), SQL Server-style
+// transactional replication (articles, log reader, distribution agents),
+// and MTCache itself — transparent mid-tier caching where
+//
+//   - a cache server holds a shadow database: the backend's schema,
+//     statistics and permissions with empty tables;
+//   - cached data is declared with CREATE CACHED VIEW; a matching
+//     replication subscription is provisioned and populated automatically;
+//   - every query is optimized cost-based with DataLocation as a physical
+//     property, choosing local, remote or mixed execution;
+//   - parameterized queries get dynamic plans (ChoosePlan) whose active
+//     branch is selected at run time from the parameter values;
+//   - inserts, updates, deletes and unknown stored procedures forward to
+//     the backend transparently.
+//
+// Quick start:
+//
+//	backend := mtcache.NewBackend("prod")
+//	backend.ExecScript(`CREATE TABLE customer (cid INT PRIMARY KEY, cname VARCHAR(40));`)
+//	// ... load data ...
+//	cache, _ := mtcache.NewCache("edge1", backend, nil)
+//	cache.CreateCachedView(`CREATE CACHED VIEW hot AS
+//	    SELECT cid, cname FROM customer WHERE cid <= 1000`)
+//	conn := mtcache.ConnectCache(cache) // applications repoint here — nothing else changes
+//	res, _ := conn.Exec("SELECT cname FROM customer WHERE cid = @cid",
+//	    mtcache.Params{"cid": mtcache.Int(42)})
+package mtcache
+
+import (
+	"time"
+
+	"mtcache/internal/advisor"
+	"mtcache/internal/core"
+	"mtcache/internal/engine"
+	"mtcache/internal/exec"
+	"mtcache/internal/opt"
+	"mtcache/internal/types"
+	"mtcache/internal/wire"
+)
+
+// Backend is the authoritative database server with its replication runtime.
+type Backend = core.BackendServer
+
+// Cache is an MTCache mid-tier cache server.
+type Cache = core.CacheServer
+
+// Conn is an application connection; it can point at a backend or a cache
+// and the application cannot tell the difference (the transparency the
+// paper is named for).
+type Conn = core.Conn
+
+// Result is the outcome of one statement: rows for queries, an affected
+// count for DML, plus executor counters.
+type Result = engine.Result
+
+// Params carries named parameter values (@name) for a statement.
+type Params = exec.Params
+
+// Value is one SQL value.
+type Value = types.Value
+
+// Options tunes the optimizer (remote cost factor, dynamic plans,
+// ChoosePlan pull-up, mixed results, transfer costs).
+type Options = opt.Options
+
+// NewBackend creates an empty backend server.
+func NewBackend(name string) *Backend { return core.NewBackend(name) }
+
+// NewCache provisions a cache against a backend: shadow schema, shadowed
+// statistics and permissions, update forwarding, cached-view hook.
+// options may be nil for the paper-faithful defaults.
+func NewCache(name string, backend *Backend, options *Options) (*Cache, error) {
+	return core.NewCache(name, backend, options)
+}
+
+// DefaultOptions returns the paper-faithful optimizer configuration.
+func DefaultOptions() Options { return opt.DefaultOptions() }
+
+// ConnectBackend binds a Conn to the backend server.
+func ConnectBackend(b *Backend) *Conn { return core.ConnectBackend(b) }
+
+// ConnectCache binds a Conn to a cache server; this is the analog of
+// redirecting an application's ODBC source (paper §4).
+func ConnectCache(c *Cache) *Conn { return core.ConnectCache(c) }
+
+// Int builds an INT value.
+func Int(i int64) Value { return types.NewInt(i) }
+
+// Float builds a FLOAT value.
+func Float(f float64) Value { return types.NewFloat(f) }
+
+// Str builds a VARCHAR value.
+func Str(s string) Value { return types.NewString(s) }
+
+// Bool builds a BOOL value.
+func Bool(b bool) Value { return types.NewBool(b) }
+
+// Time builds a DATETIME value.
+func Time(t time.Time) Value { return types.NewTime(t) }
+
+// Null is the SQL NULL value.
+var Null = types.Null
+
+// ExplainBackend returns the optimizer's plan for a query on the backend.
+func ExplainBackend(b *Backend, query string) (string, error) { return b.DB.Explain(query) }
+
+// ExplainCache returns the optimizer's plan for a query on a cache —
+// showing DataTransfer boundaries, ChoosePlan branches and view usage.
+func ExplainCache(c *Cache, query string) (string, error) { return c.DB.Explain(query) }
+
+// WireServer exposes a backend over TCP (linked-server protocol plus pull
+// subscriptions).
+type WireServer = wire.Server
+
+// WireClient is a TCP connection to a backend.
+type WireClient = wire.Client
+
+// RemoteCache is a cache server connected to its backend over TCP.
+type RemoteCache = wire.RemoteCache
+
+// ServeBackend starts a TCP server for a backend on addr (use
+// "127.0.0.1:0" to pick a free port; see WireServer.Addr).
+func ServeBackend(b *Backend, addr string) (*WireServer, error) { return wire.Serve(b, addr) }
+
+// DialBackend connects to a backend's wire server.
+func DialBackend(addr string, timeout time.Duration) (*WireClient, error) {
+	return wire.Dial(addr, timeout)
+}
+
+// NewRemoteCache provisions a cache over a TCP client connection.
+func NewRemoteCache(name string, client *WireClient, options *Options) (*RemoteCache, error) {
+	return wire.NewRemoteCache(name, client, options)
+}
+
+// WorkloadItem is one weighted statement for the caching advisor.
+type WorkloadItem = advisor.WorkloadItem
+
+// Advice is the caching advisor's output: recommended cached views and
+// stored-procedure placements.
+type Advice = advisor.Advice
+
+// Advise analyzes a weighted workload against a backend and recommends a
+// caching strategy — the design tool the paper lists as future work (§7).
+func Advise(b *Backend, workload []WorkloadItem) (*Advice, error) {
+	return advisor.Analyze(b.DB.Catalog(), workload, advisor.DefaultOptions())
+}
