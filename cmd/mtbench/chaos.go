@@ -1,0 +1,131 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mtcache/internal/core"
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/resilience"
+	"mtcache/internal/types"
+	"mtcache/internal/wire"
+)
+
+// printChaos demonstrates the fault-tolerant wire layer: a backend behind a
+// fault-injecting proxy, a cache dialing through it with the resilient
+// client, a query workload that must see zero errors despite injected drops
+// and delays, and finally a full partition during which stale-tolerant
+// queries are answered from the cached view while the backend is gone.
+func printChaos(drop float64, delay time.Duration, queries int) {
+	backend := core.NewBackend("backend")
+	// The backend has an index on qty that the cached view lacks, and the
+	// table is big enough that a local view scan costs more than a remote
+	// indexed seek: normal operation plans the workload's queries remote, so
+	// they genuinely cross the faulty link, and the partition phase genuinely
+	// degrades them onto the stale view.
+	if err := backend.ExecScript(`
+		CREATE TABLE part (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL, qty INT);
+		CREATE INDEX idx_qty ON part(qty);
+	`); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos setup:", err)
+		return
+	}
+	const tableRows = 20000
+	var rows []types.Row
+	for i := 1; i <= tableRows; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("part%d", i)), types.NewInt(int64(i))})
+	}
+	if err := backend.DB.BulkLoad("part", rows); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos load:", err)
+		return
+	}
+	backend.DB.Analyze()
+
+	srv, err := wire.Serve(backend, "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos serve:", err)
+		return
+	}
+	defer srv.Close()
+	proxy, err := wire.NewFaultProxy("127.0.0.1:0", srv.Addr(), 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos proxy:", err)
+		return
+	}
+	defer proxy.Close()
+
+	policy := resilience.DefaultPolicy()
+	policy.MaxAttempts = 12
+	client, err := wire.DialResilient(proxy.Addr(), policy, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos dial:", err)
+		return
+	}
+	defer client.Close()
+	cache, err := wire.NewRemoteCache("cache1", client, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos cache:", err)
+		return
+	}
+	if err := cache.CreateCachedView(`CREATE CACHED VIEW cv_part AS SELECT id, name, qty FROM part`); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos view:", err)
+		return
+	}
+
+	fmt.Printf("Chaos experiment: %d queries through a faulty link (%.0f%% chunk drops, +%v/chunk)\n",
+		queries, drop*100, delay)
+	proxy.SetFaults(wire.FaultConfig{DropRate: drop, Delay: delay})
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+	start := time.Now()
+	workers := 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := w; q < queries; q += workers {
+				id := int64(q%tableRows) + 1
+				_, err := cache.DB.Exec("SELECT name FROM part WHERE qty = @q",
+					exec.Params{"q": types.NewInt(id)})
+				if err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := proxy.Stats()
+	snap := metrics.Default.Snapshot()
+	fmt.Printf("  completed in %v: %d failures (want 0)\n", elapsed.Round(time.Millisecond), failures)
+	fmt.Printf("  proxy: %d conns, %d chunks dropped\n", stats.Conns, stats.Drops)
+	fmt.Printf("  client: %d retries, %d reconnects, %d timeouts\n",
+		snap["wire.retries"], snap["wire.reconnects"], snap["wire.timeouts"])
+
+	fmt.Println("Partition: backend unreachable")
+	proxy.SetFaults(wire.FaultConfig{})
+	proxy.Partition()
+	res, err := cache.DB.Exec("SELECT name FROM part WHERE qty = @q", exec.Params{"q": types.NewInt(42)})
+	if err != nil {
+		fmt.Printf("  stale-tolerant query failed: %v\n", err)
+	} else {
+		fmt.Printf("  stale-tolerant query answered from the stale view: %s (degraded answers: %d)\n",
+			res.Rows[0][0].Display(), metrics.Default.Snapshot()["engine.degraded_stale"])
+	}
+	_, err = cache.DB.Exec("SELECT COUNT(*) FROM part WITH FRESHNESS 0.001", nil)
+	if errors.Is(err, resilience.ErrBackendDown) || errors.Is(err, resilience.ErrTimeout) {
+		fmt.Println("  strict-freshness query failed fast:", err)
+	} else {
+		fmt.Printf("  strict-freshness query: unexpected outcome (err=%v)\n", err)
+	}
+	proxy.Heal()
+	fmt.Println()
+}

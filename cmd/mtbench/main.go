@@ -7,7 +7,8 @@
 //	mtbench -experiment all
 //	mtbench -experiment scaleout -servers 5 -items 1000 -customers 2880
 //
-// Experiments: mix, baseline, scaleout, replover, repllat, advisor, all.
+// Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
+// all ("all" excludes chaos; run it explicitly).
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | all")
+		experiment = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | all")
 		items      = flag.Int("items", 500, "TPC-W item count")
 		customers  = flag.Int("customers", 1000, "TPC-W customer count")
 		servers    = flag.Int("servers", 5, "maximum web/cache servers")
@@ -39,6 +40,10 @@ func main() {
 	}
 	if *experiment == "advisor" || *experiment == "all" {
 		printAdvisor(cfg)
+	}
+	if *experiment == "chaos" {
+		printChaos(0.10, 5*time.Millisecond, 500)
+		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}
 	if !needsCal[*experiment] {

@@ -5,7 +5,13 @@
 //
 //	mtcache-server -backend 127.0.0.1:7000
 //
-// Shell commands: any SQL statement; \explain <query>; \pull; \quit.
+// The backend link is fault-tolerant: requests retry with exponential
+// backoff, broken connections re-dial, and when the backend is unreachable
+// queries without a freshness bound are answered from the (possibly stale)
+// cached views.
+//
+// Shell commands: any SQL statement; \explain <query>; \pull; \metrics;
+// \quit.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"mtcache"
+	"mtcache/internal/metrics"
 	"mtcache/internal/tpcw"
 )
 
@@ -27,10 +34,19 @@ func main() {
 		name        = flag.String("name", "cache1", "cache server name")
 		tpcwViews   = flag.Bool("tpcw-views", true, "create the paper's four TPC-W cached views")
 		pull        = flag.Duration("pull", 200*time.Millisecond, "pull-subscription poll interval")
+		retries     = flag.Int("retries", 0, "max attempts per backend request (0 = default policy)")
+		timeout     = flag.Duration("timeout", 0, "per-request deadline (0 = default policy)")
 	)
 	flag.Parse()
 
-	client, err := mtcache.DialBackend(*backendAddr, 5*time.Second)
+	policy := mtcache.DefaultRetryPolicy()
+	if *retries > 0 {
+		policy.MaxAttempts = *retries
+	}
+	if *timeout > 0 {
+		policy.RequestTimeout = *timeout
+	}
+	client, err := mtcache.DialBackendResilient(*backendAddr, policy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +69,7 @@ func main() {
 	cache.StartPulling(*pull)
 	defer cache.StopPulling()
 
-	fmt.Println("type SQL statements; \\explain <q>, \\pull, \\quit")
+	fmt.Println("type SQL statements; \\explain <q>, \\pull, \\metrics, \\quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -68,6 +84,12 @@ func main() {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Printf("applied %d transactions\n", n)
+			}
+		case line == `\metrics`:
+			if s := metrics.Default.String(); s == "" {
+				fmt.Println("(no fault-tolerance events yet)")
+			} else {
+				fmt.Print(s)
 			}
 		case strings.HasPrefix(line, `\explain `):
 			text, err := cache.DB.Explain(strings.TrimPrefix(line, `\explain `))

@@ -24,7 +24,9 @@ import (
 
 	"mtcache/internal/catalog"
 	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
 	"mtcache/internal/opt"
+	"mtcache/internal/resilience"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
 	"mtcache/internal/types"
@@ -195,6 +197,12 @@ func (db *Database) ExecStmt(stmt sql.Statement, params exec.Params) (*Result, e
 // Query plans (with caching) and runs a SELECT. Queries carrying a
 // WITH FRESHNESS clause are planned per execution against the views'
 // current staleness, so they bypass the plan cache.
+//
+// On a cache whose backend link has failed, queries without a freshness
+// bound degrade gracefully: the query is re-planned onto local (possibly
+// stale) cached views and answered from them. A WITH FRESHNESS query never
+// degrades — the user asked for a bound the cache can no longer guarantee,
+// so it fails fast with the transport error instead.
 func (db *Database) Query(stmt *sql.SelectStmt, params exec.Params) (*Result, error) {
 	if stmt.Freshness != nil {
 		plan, err := db.planWithFreshness(stmt, params)
@@ -207,7 +215,29 @@ func (db *Database) Query(stmt *sql.SelectStmt, params exec.Params) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return db.RunPlan(plan, params)
+	res, err := db.RunPlan(plan, params)
+	if err != nil && db.role == Cache && resilience.Degradable(err) {
+		if lres, lerr := db.queryLocalOnly(stmt, params); lerr == nil {
+			return lres, nil
+		}
+		return nil, err
+	}
+	return res, err
+}
+
+// queryLocalOnly answers a query from cached views alone (the degraded,
+// backend-down path).
+func (db *Database) queryLocalOnly(stmt *sql.SelectStmt, params exec.Params) (*Result, error) {
+	plan, err := opt.OptimizeLocalOnly(stmt, db.env())
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.RunPlan(plan, params)
+	if err != nil {
+		return nil, err
+	}
+	metrics.Default.Counter("engine.degraded_stale").Add(1)
+	return res, nil
 }
 
 // planWithFreshness optimizes under the query's declared staleness bound.

@@ -141,6 +141,77 @@ func (h *Histogram) String() string {
 		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max())
 }
 
+// Registry is a named-counter registry. The wire layer and the engine use
+// it to publish fault-handling counters (retries, reconnects, timeouts,
+// degraded-to-stale answers) without threading counter structs through every
+// constructor. Counters are created on first use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Default is the process-wide registry. Well-known names:
+//
+//	wire.retries            requests reissued after a transport failure
+//	wire.reconnects         re-dials after a broken connection
+//	wire.dial_failures      failed connection attempts
+//	wire.timeouts           requests that exceeded their deadline
+//	wire.backend_down       requests that exhausted every attempt
+//	wire.pull_failures      pull rounds that failed for a subscription
+//	wire.pull_redelivered   pulled batches skipped as already applied
+//	engine.degraded_stale   queries answered from local stale data after a
+//	                        backend failure
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	counters := make([]*Counter, 0, len(r.counters))
+	for n, c := range r.counters {
+		names = append(names, n)
+		counters = append(counters, c)
+	}
+	r.mu.Unlock()
+	out := make(map[string]int64, len(names))
+	for i, n := range names {
+		out[n] = counters[i].Value()
+	}
+	return out
+}
+
+// String renders the registry as sorted "name=value" lines.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b []byte
+	for _, n := range names {
+		b = append(b, fmt.Sprintf("%s=%d\n", n, snap[n])...)
+	}
+	return string(b)
+}
+
 // Gauge is a thread-safe instantaneous value.
 type Gauge struct {
 	mu sync.Mutex

@@ -110,6 +110,47 @@ func TestHistogramQuantileMonotonic(t *testing.T) {
 	}
 }
 
+func TestRegistryCountersAreShared(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wire.retries").Add(2)
+	r.Counter("wire.retries").Add(3)
+	if got := r.Counter("wire.retries").Value(); got != 5 {
+		t.Errorf("shared counter: %d", got)
+	}
+	snap := r.Snapshot()
+	if snap["wire.retries"] != 5 {
+		t.Errorf("snapshot: %v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("a").Add(1)
+				r.Counter("b").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("a").Value() != 4000 || r.Counter("b").Value() != 4000 {
+		t.Errorf("concurrent registry: %v", r.Snapshot())
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	if s := r.String(); s != "a=2\nz=1\n" {
+		t.Errorf("sorted render: %q", s)
+	}
+}
+
 func TestGauge(t *testing.T) {
 	var g Gauge
 	g.Set(3.5)

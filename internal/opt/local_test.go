@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"errors"
+	"testing"
+
+	"mtcache/internal/sql"
+)
+
+// TestLocalOnlyPlansInsideView: a query the cached view covers must get a
+// fully local, non-dynamic plan even when the cost-based winner would be
+// remote or dynamic.
+func TestLocalOnlyPlansInsideView(t *testing.T) {
+	b := newBackend(t)
+	env, store := newCache(t, b)
+
+	p, err := OptimizeLocalOnly(sql.MustParseSelect(
+		"SELECT cname FROM customer WHERE cid <= 500"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FullyLocal || p.Dynamic {
+		t.Fatalf("local-only plan must be fully local and static:\n%s", Explain(p))
+	}
+	rs, ctr := execute(t, p, store, b, nil)
+	if len(rs.Rows) != 500 {
+		t.Fatalf("rows: %d", len(rs.Rows))
+	}
+	if ctr.RemoteQueries != 0 {
+		t.Error("local-only plan touched the backend")
+	}
+}
+
+// TestLocalOnlyParameterizedNeverDynamic: with a parameter the default
+// optimizer builds a ChoosePlan whose remote branch could fire at run time;
+// local-only planning must refuse that shape.
+func TestLocalOnlyParameterizedNeverDynamic(t *testing.T) {
+	b := newBackend(t)
+	env, _ := newCache(t, b)
+
+	stmt := sql.MustParseSelect("SELECT cname FROM customer WHERE cid = @cid")
+	def, err := Optimize(stmt, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Dynamic {
+		t.Skipf("expected the default plan to be dynamic:\n%s", Explain(def))
+	}
+	// Containment does not hold for all parameter values, so no static local
+	// plan exists: the local-only planner must reject rather than hand back
+	// a plan that silently drops rows.
+	if _, err := OptimizeLocalOnly(stmt, env); !errors.Is(err, ErrNoLocalPlan) {
+		t.Fatalf("want ErrNoLocalPlan, got %v", err)
+	}
+}
+
+// TestLocalOnlyOutsideViewFails: data the cache does not hold cannot be
+// conjured locally.
+func TestLocalOnlyOutsideViewFails(t *testing.T) {
+	b := newBackend(t)
+	env, _ := newCache(t, b)
+
+	_, err := OptimizeLocalOnly(sql.MustParseSelect(
+		"SELECT cname FROM customer WHERE cid BETWEEN 5000 AND 5004"), env)
+	if !errors.Is(err, ErrNoLocalPlan) {
+		t.Fatalf("want ErrNoLocalPlan, got %v", err)
+	}
+}

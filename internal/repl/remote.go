@@ -66,6 +66,51 @@ func (s *Server) SubscribeRemote(a *Article, name string, startLSN storage.LSN) 
 	return sub
 }
 
+// ResetRemote rewinds a remote subscription to a fresh snapshot point:
+// pending batches are dropped and the stream restarts at startLSN. Used to
+// make wire-level provisioning idempotent — re-provisioning an existing
+// subscription reuses it instead of leaking an undrained queue that would
+// pin the WAL.
+func (s *Server) ResetRemote(sub *Subscription, startLSN storage.LSN) {
+	sub.mu.Lock()
+	sub.queue = nil
+	sub.nextLSN = startLSN
+	sub.mu.Unlock()
+}
+
+// DrainAfter acknowledges every queued transaction with LSN <= ack
+// (removing it from the distribution queue) and returns — without removing —
+// up to max (<= 0 means all) of the remaining ones, in commit (LSN) order.
+//
+// This is the fault-tolerant half of a pull subscription: a batch stays
+// queued until a later call acknowledges it, so a pull whose response was
+// lost in transit re-delivers the same batches. Delivery is therefore
+// at-least-once; the subscriber deduplicates by LSN, which together yields
+// exactly-once application.
+func (s *Server) DrainAfter(sub *Subscription, ack storage.LSN, max int) []TxnBatch {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	drop := 0
+	for drop < len(sub.queue) && sub.queue[drop].lsn <= ack {
+		drop++
+	}
+	sub.queue = sub.queue[drop:]
+	n := len(sub.queue)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]TxnBatch, 0, n)
+	for i := 0; i < n; i++ {
+		q := sub.queue[i]
+		changes, err := decodeChanges(q.encoded)
+		if err != nil {
+			continue
+		}
+		out = append(out, TxnBatch{LSN: q.lsn, CommitTime: q.commitTime, Changes: changes})
+	}
+	return out
+}
+
 // Drain removes and returns up to max queued transactions (max <= 0 means
 // all) for a remote subscription.
 func (s *Server) Drain(sub *Subscription, max int) []TxnBatch {

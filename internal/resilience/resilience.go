@@ -1,0 +1,172 @@
+// Package resilience provides the failure taxonomy and retry policy shared
+// by the wire transport and the engine's graceful-degradation path.
+//
+// The paper's value proposition is that a mid-tier cache degrades gracefully
+// (§2, §6): when the backend is slow or unreachable, local plans and
+// stale-tolerant reads keep serving. That requires every remote failure to
+// be classified — is it worth retrying? may the engine fall back to local,
+// possibly stale, data? — and retried under a bounded, jittered backoff so a
+// struggling backend is not stampeded.
+//
+// The taxonomy is two sentinel errors plus a terminal marker:
+//
+//   - ErrTimeout: the request exceeded its deadline. The backend may be up
+//     but slow (or the network black-holed). Retryable.
+//   - ErrBackendDown: the connection could not be established or broke
+//     mid-request. Retryable after re-dialing.
+//   - Terminal(err): wraps an otherwise-retryable error to stop retries —
+//     used for non-idempotent requests that may already have executed.
+//
+// Application-level errors reported by the backend (bad SQL, constraint
+// violations) wrap neither sentinel and are never retried: the request was
+// delivered and executed; retrying cannot change the answer.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// ErrTimeout marks a request that exceeded its I/O deadline.
+var ErrTimeout = errors.New("backend request timed out")
+
+// ErrBackendDown marks a connection that could not be established or broke
+// before a response arrived.
+var ErrBackendDown = errors.New("backend unreachable")
+
+// terminalError wraps a transport error whose request must not be retried
+// (e.g. a non-idempotent request that may already have executed).
+type terminalError struct{ err error }
+
+func (t *terminalError) Error() string { return t.err.Error() }
+func (t *terminalError) Unwrap() error { return t.err }
+
+// Terminal marks err as non-retryable while preserving its chain, so
+// Degradable still sees the underlying sentinel.
+func Terminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &terminalError{err: err}
+}
+
+// Retryable reports whether a failed request may be reissued: the error
+// chain carries a transport sentinel and no Terminal marker.
+func Retryable(err error) bool {
+	var t *terminalError
+	if errors.As(err, &t) {
+		return false
+	}
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrBackendDown)
+}
+
+// Degradable reports whether a failed remote read may fall back to local,
+// possibly stale, data: the failure is a transport failure (the backend
+// never answered), not an application error (the backend answered "no").
+func Degradable(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrBackendDown)
+}
+
+// Classify wraps a raw transport error with the matching sentinel: timeouts
+// become ErrTimeout, everything else ErrBackendDown. Errors already carrying
+// a sentinel pass through unchanged; nil stays nil.
+func Classify(err error) error {
+	if err == nil || Degradable(err) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return fmt.Errorf("%w: %v", ErrBackendDown, err)
+}
+
+// Policy bounds the retry loop for one logical request.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry; each further retry
+	// multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+
+	// Jitter spreads each delay uniformly over ±Jitter·delay so synchronized
+	// clients do not retry in lockstep.
+	Jitter float64
+
+	// RequestTimeout is the per-round-trip I/O deadline. Zero disables
+	// deadlines (not recommended: a stalled backend then hangs the caller).
+	RequestTimeout time.Duration
+}
+
+// DefaultPolicy returns a policy suited to LAN backends: 4 attempts,
+// 10ms..500ms exponential backoff with 25% jitter, 2s request deadline.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:    4,
+		BaseDelay:      10 * time.Millisecond,
+		MaxDelay:       500 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0.25,
+		RequestTimeout: 2 * time.Second,
+	}
+}
+
+// Delay returns the jittered backoff before retry n (n >= 1). rng may be
+// nil, in which case the shared math/rand source is used.
+func (p Policy) Delay(n int, rng *rand.Rand) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 1
+	}
+	for i := 1; i < n; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		f := rand.Float64
+		if rng != nil {
+			f = rng.Float64
+		}
+		d *= 1 + p.Jitter*(2*f()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Do runs op under the policy: it is retried while it fails with a
+// Retryable error, sleeping the backoff between attempts. The attempt index
+// (0-based) is passed to op. The last error is returned.
+func Do(p Policy, op func(attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.Delay(attempt, nil))
+		}
+		if err = op(attempt); err == nil || !Retryable(err) {
+			return err
+		}
+	}
+	return err
+}

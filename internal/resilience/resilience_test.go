@@ -1,0 +1,134 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestClassifyTimeout(t *testing.T) {
+	err := Classify(&net.OpError{Op: "read", Err: &timeoutErr{}})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("timeout not classified: %v", err)
+	}
+	if errors.Is(err, ErrBackendDown) {
+		t.Fatal("timeout must not also be backend-down")
+	}
+}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string   { return "i/o timeout" }
+func (*timeoutErr) Timeout() bool   { return true }
+func (*timeoutErr) Temporary() bool { return true }
+
+func TestClassifyConnectionError(t *testing.T) {
+	err := Classify(errors.New("connection reset by peer"))
+	if !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("transport error not classified: %v", err)
+	}
+}
+
+func TestClassifyPassthrough(t *testing.T) {
+	in := fmt.Errorf("wrapped: %w", ErrBackendDown)
+	if out := Classify(in); out != in {
+		t.Error("already-classified errors must pass through")
+	}
+	if Classify(nil) != nil {
+		t.Error("nil must stay nil")
+	}
+}
+
+func TestTerminalStopsRetryKeepsDegradable(t *testing.T) {
+	base := Classify(errors.New("broken pipe"))
+	term := Terminal(base)
+	if Retryable(term) {
+		t.Fatal("terminal errors must not be retryable")
+	}
+	if !Degradable(term) {
+		t.Fatal("terminal transport errors must stay degradable")
+	}
+	if !Retryable(base) {
+		t.Fatal("classified transport errors must be retryable")
+	}
+}
+
+func TestServerErrorsNotRetryable(t *testing.T) {
+	appErr := errors.New("table does not exist")
+	if Retryable(appErr) || Degradable(appErr) {
+		t.Fatal("application errors are terminal and not degradable")
+	}
+}
+
+func TestDelayIsBoundedExponential(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	rng := rand.New(rand.NewSource(1))
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		got := p.Delay(i+1, rng)
+		if got != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterStaysInBand(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.25}
+	rng := rand.New(rand.NewSource(7))
+	lo, hi := 75*time.Millisecond, 125*time.Millisecond
+	varied := false
+	prev := time.Duration(-1)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1, rng)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if prev >= 0 && d != prev {
+			varied = true
+		}
+		prev = d
+	}
+	if !varied {
+		t.Error("jitter produced constant delays")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond, Multiplier: 1}
+	calls := 0
+	err := Do(p, func(int) error {
+		calls++
+		if calls < 3 {
+			return Classify(errors.New("conn refused"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsOnTerminal(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	appErr := errors.New("syntax error")
+	err := Do(p, func(int) error { calls++; return appErr })
+	if !errors.Is(err, appErr) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, Multiplier: 1}
+	calls := 0
+	err := Do(p, func(int) error { calls++; return Classify(errors.New("down")) })
+	if calls != 3 {
+		t.Fatalf("calls=%d", calls)
+	}
+	if !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("final error lost its classification: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"mtcache/internal/repl"
+	"mtcache/internal/storage"
+	"mtcache/internal/types"
+)
+
+// FuzzFrameDecode checks that decoding a wire frame from arbitrary bytes
+// never panics — a malformed or truncated frame from a bad peer (or a
+// fault-injecting proxy) must surface as an error, not crash the server's
+// connection handler or the client's response reader.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with real encoded frames, whole and truncated.
+	var seeds [][]byte
+	encode := func(v any) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			f.Fatal(err)
+		}
+		b := buf.Bytes()
+		seeds = append(seeds, b)
+		if len(b) > 2 {
+			seeds = append(seeds, b[:len(b)/2], b[:len(b)-1], b[1:])
+		}
+	}
+	encode(&request{Kind: reqQuery, SQL: "SELECT name FROM part WHERE id = @id",
+		Params: map[string]types.Value{"id": types.NewInt(7)}})
+	encode(&request{Kind: reqExec, SQL: "UPDATE part SET qty = 0 WHERE id = 7"})
+	encode(&request{Kind: reqProvision, Table: "part", Columns: []string{"id", "name"},
+		Filter: "(part.qty > 10)", SubName: "cache1.cv_part"})
+	encode(&request{Kind: reqPull, SubID: 3, Max: 100, AckLSN: 42})
+	encode(&response{Cols: nil, Rows: []types.Row{{types.NewInt(1), types.NewString("x")}}, N: 1})
+	encode(&response{Err: "wire: server: boom"})
+	encode(&response{SubID: 1, StartLSN: 7, Batches: []repl.TxnBatch{
+		{LSN: 7, CommitTime: time.Unix(0, 0), Changes: []storage.ChangeRec{
+			{Table: "part", Op: storage.OpInsert, After: types.Row{types.NewInt(1)}},
+		}},
+	}})
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		gob.NewDecoder(bytes.NewReader(data)).Decode(&req) //nolint:errcheck — only panics matter
+		var resp response
+		gob.NewDecoder(bytes.NewReader(data)).Decode(&resp) //nolint:errcheck — only panics matter
+	})
+}

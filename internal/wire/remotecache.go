@@ -9,17 +9,26 @@ import (
 	"mtcache/internal/catalog"
 	"mtcache/internal/core"
 	"mtcache/internal/engine"
+	"mtcache/internal/metrics"
 	"mtcache/internal/opt"
 	"mtcache/internal/repl"
 	"mtcache/internal/sql"
+	"mtcache/internal/storage"
 )
 
 // RemoteCache is an MTCache server connected to its backend over TCP. It
 // mirrors core.CacheServer but uses pull subscriptions: a local distribution
 // agent periodically pulls committed transactions and applies them.
+//
+// The agent is fault-tolerant: a failed pull leaves the subscription's
+// batches queued on the backend (they are only deleted once acknowledged by
+// a later pull), a failing subscription does not block the others, and
+// batches are applied exactly once and in LSN order — each subscription
+// tracks the last applied LSN and skips re-delivered batches.
 type RemoteCache struct {
 	DB     *engine.Database
-	client *Client
+	client BackendClient
+	reg    *metrics.Registry
 
 	mu     sync.Mutex
 	pulls  []pullSub
@@ -31,13 +40,16 @@ type pullSub struct {
 	subID    int
 	view     string
 	lastPull time.Time
+	lastLSN  storage.LSN // highest LSN applied; pulls ack and dedup with it
 }
 
-// NewRemoteCache dials nothing itself: pass a connected Client. It performs
-// the shadow setup over the wire and registers the cached-view hook.
-func NewRemoteCache(name string, client *Client, options *opt.Options) (*RemoteCache, error) {
+// NewRemoteCache dials nothing itself: pass a connected BackendClient (a
+// bare *Client, or a *ResilientClient for retry/backoff/re-dial). It
+// performs the shadow setup over the wire and registers the cached-view
+// hook.
+func NewRemoteCache(name string, client BackendClient, options *opt.Options) (*RemoteCache, error) {
 	db := engine.New(engine.Config{Name: name, Role: engine.Cache, Remote: client, Options: options})
-	rc := &RemoteCache{DB: db, client: client}
+	rc := &RemoteCache{DB: db, client: client, reg: metrics.Default}
 	data, err := client.Snapshot()
 	if err != nil {
 		return nil, err
@@ -91,7 +103,7 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 	if def.Where != nil {
 		filter = sql.DeparseExpr(def.Where)
 	}
-	subID, rows, err := rc.client.Provision(tn.Name, cols, filter, rc.DB.Name+"."+view.Name)
+	subID, startLSN, rows, err := rc.client.Provision(tn.Name, cols, filter, rc.DB.Name+"."+view.Name)
 	if err != nil {
 		return err
 	}
@@ -110,7 +122,9 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 		return err
 	}
 	rc.mu.Lock()
-	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now()})
+	// startLSN is the first LSN the change stream will produce; lastLSN holds
+	// the highest LSN already applied, so seed it one below the stream start.
+	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: startLSN - 1})
 	rc.mu.Unlock()
 	return nil
 }
@@ -127,34 +141,57 @@ func (rc *RemoteCache) CopyProcedureText(text string) error {
 }
 
 // Pull performs one pull-and-apply round for every subscription and returns
-// the number of transactions applied.
+// the number of transactions applied. A failing subscription is skipped —
+// its unacknowledged batches stay queued on the backend and are re-delivered
+// next round — and the remaining subscriptions still pull. The first error
+// encountered is returned alongside the applied count.
 func (rc *RemoteCache) Pull() (int, error) {
 	rc.mu.Lock()
 	pulls := append([]pullSub(nil), rc.pulls...)
 	rc.mu.Unlock()
 	total := 0
+	var firstErr error
 	for i, p := range pulls {
-		batches, err := rc.client.Pull(p.subID, 0)
+		batches, err := rc.client.Pull(p.subID, 0, p.lastLSN)
 		if err != nil {
-			return total, err
-		}
-		for _, b := range batches {
-			if err := rc.applyBatch(p.view, b); err != nil {
-				return total, err
+			rc.reg.Counter("wire.pull_failures").Add(1)
+			if firstErr == nil {
+				firstErr = err
 			}
+			continue
+		}
+		applied := p.lastLSN
+		for _, b := range batches {
+			if b.LSN <= applied {
+				// Re-delivered batch from a pull whose response was lost —
+				// already applied; acknowledging happens on the next pull.
+				rc.reg.Counter("wire.pull_redelivered").Add(1)
+				continue
+			}
+			if err := rc.applyBatch(p.view, b); err != nil {
+				// Stop this subscription at the failed batch to preserve LSN
+				// order; everything unapplied is still queued on the backend.
+				rc.reg.Counter("wire.pull_failures").Add(1)
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			applied = b.LSN
 			total++
 		}
 		rc.mu.Lock()
-		if i < len(rc.pulls) {
+		if i < len(rc.pulls) && rc.pulls[i].subID == p.subID {
+			rc.pulls[i].lastLSN = applied
 			rc.pulls[i].lastPull = time.Now()
 		}
 		rc.mu.Unlock()
 	}
-	return total, nil
+	return total, firstErr
 }
 
 func (rc *RemoteCache) applyBatch(view string, b repl.TxnBatch) error {
-	if !strings.EqualFold(b.Changes[0].Table, view) && len(b.Changes) > 0 {
+	if len(b.Changes) > 0 && !strings.EqualFold(b.Changes[0].Table, view) {
 		// Change records carry the source table name; the target is the view.
 		for i := range b.Changes {
 			b.Changes[i].Table = view
@@ -163,7 +200,23 @@ func (rc *RemoteCache) applyBatch(view string, b repl.TxnBatch) error {
 	return repl.ApplyBatch(rc.DB, view, b)
 }
 
-// StartPulling launches the background pull agent.
+// LastLSN reports the highest LSN applied for a cached view's subscription
+// (0 when the view has no subscription).
+func (rc *RemoteCache) LastLSN(view string) storage.LSN {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, p := range rc.pulls {
+		if strings.EqualFold(p.view, view) {
+			return p.lastLSN
+		}
+	}
+	return 0
+}
+
+// StartPulling launches the background pull agent. The agent survives failed
+// pulls: an error leaves the subscription's state untouched (the backend
+// re-delivers unacknowledged batches) and the agent simply retries on its
+// next tick.
 func (rc *RemoteCache) StartPulling(interval time.Duration) {
 	rc.mu.Lock()
 	if rc.stopCh != nil {

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/repl"
+	"mtcache/internal/resilience"
+	"mtcache/internal/storage"
+	"mtcache/internal/types"
+)
+
+// BackendClient is the client surface a RemoteCache needs. Both the bare
+// *Client and the fault-tolerant *ResilientClient implement it.
+type BackendClient interface {
+	exec.RemoteClient
+	Snapshot() ([]byte, error)
+	Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error)
+	Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error)
+	Close() error
+}
+
+var (
+	_ BackendClient = (*Client)(nil)
+	_ BackendClient = (*ResilientClient)(nil)
+)
+
+// ResilientClient wraps the wire protocol with per-request deadlines,
+// bounded exponential backoff with jitter, and automatic re-dial on broken
+// connections. It is the cache's production backend link: a dropped TCP
+// frame costs a retry, not a query.
+//
+// Retry rules follow idempotency: Query, Snapshot, Provision and Pull are
+// idempotent (Provision resets by name; Pull re-delivers until acked) and
+// retry on any transport failure. Exec forwards DML, which may have executed
+// on the backend even though the response was lost — it retries only while
+// no connection existed (connect phase) and turns terminal the moment a
+// request may have reached the backend.
+type ResilientClient struct {
+	addr   string
+	policy resilience.Policy
+	reg    *metrics.Registry
+
+	mu        sync.Mutex
+	cl        *Client
+	connected bool // a connection has existed at least once
+	closed    bool
+}
+
+// DialResilient connects to a wire server with the given retry policy. The
+// initial dial is itself retried under the policy. reg may be nil to use
+// metrics.Default.
+func DialResilient(addr string, policy resilience.Policy, reg *metrics.Registry) (*ResilientClient, error) {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	r := &ResilientClient{addr: addr, policy: policy, reg: reg}
+	err := resilience.Do(policy, func(int) error {
+		_, err := r.conn()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Addr returns the backend address the client (re-)dials.
+func (r *ResilientClient) Addr() string { return r.addr }
+
+// Close closes the current connection and stops further re-dials.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.cl != nil {
+		err := r.cl.Close()
+		r.cl = nil
+		return err
+	}
+	return nil
+}
+
+// conn returns the live connection, dialing a new one if needed.
+func (r *ResilientClient) conn() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, resilience.Terminal(fmt.Errorf("wire: client closed: %w", resilience.ErrBackendDown))
+	}
+	if r.cl != nil {
+		return r.cl, nil
+	}
+	c, err := Dial(r.addr, r.policy.RequestTimeout)
+	if err != nil {
+		r.reg.Counter("wire.dial_failures").Add(1)
+		return nil, err
+	}
+	if r.connected {
+		r.reg.Counter("wire.reconnects").Add(1)
+	}
+	r.connected = true
+	r.cl = c
+	return c, nil
+}
+
+// invalidate drops a broken connection so the next attempt re-dials.
+func (r *ResilientClient) invalidate(c *Client) {
+	r.mu.Lock()
+	if r.cl == c {
+		r.cl = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// do runs one request under the retry policy. Connect-phase failures retry
+// for every request kind; post-connect transport failures retry only for
+// idempotent requests. Server-reported errors are terminal.
+func (r *ResilientClient) do(idempotent bool, fn func(c *Client) error) error {
+	var last error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.reg.Counter("wire.retries").Add(1)
+			time.Sleep(r.policy.Delay(attempt, nil))
+		}
+		c, err := r.conn()
+		if err != nil {
+			last = err
+			if !resilience.Retryable(err) {
+				return err
+			}
+			continue
+		}
+		err = fn(c)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !resilience.Retryable(err) {
+			return err
+		}
+		if errors.Is(err, resilience.ErrTimeout) {
+			r.reg.Counter("wire.timeouts").Add(1)
+		}
+		r.invalidate(c)
+		if !idempotent {
+			// The request may have executed on the backend; retrying could
+			// apply it twice. Surface the transport failure as terminal.
+			return resilience.Terminal(last)
+		}
+	}
+	r.reg.Counter("wire.backend_down").Add(1)
+	return fmt.Errorf("wire: %s failed after %d attempts: %w", r.addr, r.policy.MaxAttempts, last)
+}
+
+// Query implements exec.RemoteClient (idempotent: retried).
+func (r *ResilientClient) Query(sqlText string, params exec.Params) (*exec.ResultSet, error) {
+	var rs *exec.ResultSet
+	err := r.do(true, func(c *Client) error {
+		var e error
+		rs, e = c.Query(sqlText, params)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Exec implements exec.RemoteClient. Forwarded DML is not idempotent, so it
+// retries only on connect-phase failures.
+func (r *ResilientClient) Exec(sqlText string, params exec.Params) (int64, error) {
+	var n int64
+	err := r.do(false, func(c *Client) error {
+		var e error
+		n, e = c.Exec(sqlText, params)
+		return e
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Snapshot fetches the backend catalog snapshot (idempotent: retried).
+func (r *ResilientClient) Snapshot() ([]byte, error) {
+	var data []byte
+	err := r.do(true, func(c *Client) error {
+		var e error
+		data, e = c.Snapshot()
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Provision creates or resets a pull subscription (idempotent by
+// subscription name: retried).
+func (r *ResilientClient) Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error) {
+	var (
+		subID int
+		lsn   storage.LSN
+		rows  []types.Row
+	)
+	err := r.do(true, func(c *Client) error {
+		var e error
+		subID, lsn, rows, e = c.Provision(table, columns, filter, subName)
+		return e
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return subID, lsn, rows, nil
+}
+
+// Pull fetches pending transactions (idempotent: unacknowledged batches are
+// re-delivered, so a retried pull never loses data).
+func (r *ResilientClient) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
+	var batches []repl.TxnBatch
+	err := r.do(true, func(c *Client) error {
+		var e error
+		batches, e = c.Pull(subID, max, ack)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batches, nil
+}

@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/resilience"
+	"mtcache/internal/types"
+)
+
+func quickPolicy() resilience.Policy {
+	p := resilience.DefaultPolicy()
+	p.MaxAttempts = 4
+	p.BaseDelay = 2 * time.Millisecond
+	p.MaxDelay = 20 * time.Millisecond
+	p.RequestTimeout = time.Second
+	return p
+}
+
+// TestResilientSurvivesConnectionLoss kills the client's connection between
+// requests; the next query must transparently re-dial and succeed.
+func TestResilientSurvivesConnectionLoss(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	reg := metrics.NewRegistry()
+	rc, err := DialResilient(srv.Addr(), quickPolicy(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if _, err := rc.Query("SELECT COUNT(*) FROM part", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the underlying connection behind the wrapper's back.
+	rc.mu.Lock()
+	rc.cl.conn.Close()
+	rc.mu.Unlock()
+
+	rs, err := rc.Query("SELECT name FROM part WHERE id = @id", exec.Params{"id": types.NewInt(7)})
+	if err != nil {
+		t.Fatalf("query after connection loss: %v", err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Str() != "part7" {
+		t.Fatalf("wrong rows: %v", rs.Rows)
+	}
+	if reg.Counter("wire.retries").Value() == 0 {
+		t.Error("recovery should have counted a retry")
+	}
+	if reg.Counter("wire.reconnects").Value() == 0 {
+		t.Error("recovery should have counted a reconnect")
+	}
+}
+
+// TestResilientQueryFailsFastWhenDown points the client at a dead address:
+// the dial must fail with ErrBackendDown after bounded attempts, not hang.
+func TestResilientQueryFailsFastWhenDown(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	_, srv := newWiredBackend(t)
+	addr := srv.Addr()
+	srv.Close()
+
+	start := time.Now()
+	_, err := DialResilient(addr, quickPolicy(), metrics.NewRegistry())
+	if err == nil {
+		t.Fatal("dial to dead address should fail")
+	}
+	if !errors.Is(err, resilience.ErrBackendDown) && !errors.Is(err, resilience.ErrTimeout) {
+		t.Fatalf("want typed transport error, got: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("dial took %v; should fail fast", elapsed)
+	}
+}
+
+// TestResilientExecDoesNotRetryPostConnect: a transport failure after the
+// request may have reached the backend must NOT be retried for Exec — the
+// DML could otherwise run twice. The error is terminal but still
+// degradation-eligible.
+func TestResilientExecDoesNotRetryPostConnect(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	proxy, err := NewFaultProxy("127.0.0.1:0", srv.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	reg := metrics.NewRegistry()
+	rc, err := DialResilient(proxy.Addr(), quickPolicy(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	// Every chunk from now on is dropped: the Exec request dies in flight
+	// after a connection existed, which is exactly the ambiguous case.
+	proxy.SetFaults(FaultConfig{DropRate: 1.0})
+	_, err = rc.Exec("UPDATE part SET qty = 1 WHERE id = 1", nil)
+	if err == nil {
+		t.Fatal("exec through a black-hole link should fail")
+	}
+	if resilience.Retryable(err) {
+		t.Fatalf("post-connect exec failure must be terminal: %v", err)
+	}
+	if !resilience.Degradable(err) {
+		t.Fatalf("terminal transport failure should still be degradation-eligible: %v", err)
+	}
+	if got := reg.Counter("wire.retries").Value(); got != 0 {
+		t.Fatalf("exec must not retry post-connect failures; retries=%d", got)
+	}
+}
+
+// TestResilientQueryRetriesPostConnect is the idempotent counterpart: the
+// same black-hole failure on a Query is retried until the policy is
+// exhausted.
+func TestResilientQueryRetriesPostConnect(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	proxy, err := NewFaultProxy("127.0.0.1:0", srv.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	reg := metrics.NewRegistry()
+	policy := quickPolicy()
+	rc, err := DialResilient(proxy.Addr(), policy, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	proxy.SetFaults(FaultConfig{DropRate: 1.0})
+	_, err = rc.Query("SELECT COUNT(*) FROM part", nil)
+	if err == nil {
+		t.Fatal("query through a black-hole link should fail")
+	}
+	if got := reg.Counter("wire.retries").Value(); got != int64(policy.MaxAttempts-1) {
+		t.Fatalf("query should retry to exhaustion: retries=%d want %d", got, policy.MaxAttempts-1)
+	}
+	if reg.Counter("wire.backend_down").Value() != 1 {
+		t.Error("exhaustion should count wire.backend_down")
+	}
+}
+
+// TestResilientServerErrorsNotRetried: an application-level error (bad SQL)
+// is the backend's answer, not a transport failure — no retry, no re-dial.
+func TestResilientServerErrorsNotRetried(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	reg := metrics.NewRegistry()
+	rc, err := DialResilient(srv.Addr(), quickPolicy(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	_, err = rc.Query("SELECT nope FROM missing", nil)
+	if err == nil {
+		t.Fatal("bad SQL should error")
+	}
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ServerError, got %T: %v", err, err)
+	}
+	if resilience.Retryable(err) || resilience.Degradable(err) {
+		t.Fatal("server errors must be neither retryable nor degradable")
+	}
+	if reg.Counter("wire.retries").Value() != 0 {
+		t.Error("server error must not trigger retries")
+	}
+	// The connection survives and serves the next request.
+	if _, err := rc.Query("SELECT COUNT(*) FROM part", nil); err != nil {
+		t.Fatalf("connection should survive a server error: %v", err)
+	}
+	if reg.Counter("wire.reconnects").Value() != 0 {
+		t.Error("server error must not trigger a re-dial")
+	}
+}
+
+// TestResilientClosedClientRefuses: after Close, requests fail terminally
+// instead of re-dialing forever.
+func TestResilientClosedClientRefuses(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	rc, err := DialResilient(srv.Addr(), quickPolicy(), metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	_, err = rc.Query("SELECT 1", nil)
+	if err == nil {
+		t.Fatal("closed client should refuse requests")
+	}
+	if resilience.Retryable(err) {
+		t.Fatal("closed-client error must be terminal")
+	}
+}

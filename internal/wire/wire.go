@@ -23,6 +23,7 @@ import (
 	"mtcache/internal/core"
 	"mtcache/internal/exec"
 	"mtcache/internal/repl"
+	"mtcache/internal/resilience"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
 	"mtcache/internal/types"
@@ -51,9 +52,13 @@ type request struct {
 	Filter  string // deparsed predicate, "" = none
 	SubName string
 
-	// Pull fields.
-	SubID int
-	Max   int
+	// Pull fields. AckLSN acknowledges every batch at or below it from the
+	// previous pull; the server deletes acknowledged batches and re-delivers
+	// unacknowledged ones, making Pull safe to retry (at-least-once delivery,
+	// deduplicated by LSN on the subscriber).
+	SubID  int
+	Max    int
+	AckLSN storage.LSN
 }
 
 // response is one server->client frame.
@@ -192,11 +197,27 @@ func (s *Server) handle(req *request) *response {
 			resp.Err = err.Error()
 			return resp
 		}
-		sub := s.backend.Repl.SubscribeRemote(art, req.SubName, lsn)
+		// Provision is idempotent by subscription name: a client retrying a
+		// provision whose response was lost must not leave an orphan
+		// subscription behind (an undrained queue would pin the WAL forever).
 		s.mu.Lock()
-		s.subs = append(s.subs, sub)
-		resp.SubID = len(s.subs) - 1
+		resp.SubID = -1
+		for i, sub := range s.subs {
+			if sub.Name == req.SubName && sub.Article == art {
+				resp.SubID = i
+				break
+			}
+		}
 		s.mu.Unlock()
+		if resp.SubID >= 0 {
+			s.backend.Repl.ResetRemote(s.subs[resp.SubID], lsn)
+		} else {
+			sub := s.backend.Repl.SubscribeRemote(art, req.SubName, lsn)
+			s.mu.Lock()
+			s.subs = append(s.subs, sub)
+			resp.SubID = len(s.subs) - 1
+			s.mu.Unlock()
+		}
 		resp.Rows = rows
 		resp.StartLSN = lsn
 	case reqPull:
@@ -209,47 +230,69 @@ func (s *Server) handle(req *request) *response {
 		sub := s.subs[req.SubID]
 		s.mu.Unlock()
 		s.backend.Repl.RunLogReader()
-		resp.Batches = s.backend.Repl.Drain(sub, req.Max)
+		resp.Batches = s.backend.Repl.DrainAfter(sub, req.AckLSN, req.Max)
 	default:
 		resp.Err = "wire: unknown request kind"
 	}
 	return resp
 }
 
+// ServerError is an application-level error reported by the backend (bad
+// SQL, missing table, constraint violation). It is terminal: the request was
+// delivered and executed, so retrying cannot change the answer.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "wire: server: " + e.Msg }
+
 // Client is a TCP connection to a backend server. It implements
 // exec.RemoteClient, so an engine.Database can use it directly as its
 // backend link.
+//
+// Client itself fails hard on the first transport error; wrap it in a
+// ResilientClient (DialResilient) for retry, backoff and re-dial.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server. timeout bounds the connection attempt and
+// every subsequent round trip (read+write deadline per request); zero
+// disables deadlines.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, err
+		return nil, resilience.Classify(err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: timeout}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// roundTrip sends one request and reads its response under the client's
+// deadline. A stalled backend therefore fails the request with ErrTimeout
+// instead of hanging the caller forever. Transport errors are classified
+// (ErrTimeout / ErrBackendDown); server-reported errors come back as
+// *ServerError and are never retryable.
 func (c *Client) roundTrip(req *request) (*response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("wire: send: %w", err)
+		return nil, resilience.Classify(fmt.Errorf("wire: send: %w", err))
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("wire: recv: %w", err)
+		return nil, resilience.Classify(fmt.Errorf("wire: recv: %w", err))
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("wire: server: %s", resp.Err)
+		return nil, &ServerError{Msg: resp.Err}
 	}
 	return &resp, nil
 }
@@ -282,20 +325,25 @@ func (c *Client) Snapshot() ([]byte, error) {
 }
 
 // Provision creates an article + pull subscription on the backend and
-// returns the subscription id plus the initial population.
-func (c *Client) Provision(table string, columns []string, filter, subName string) (int, []types.Row, error) {
+// returns the subscription id, the LSN the change stream starts from, and
+// the initial population. Provisioning the same subscription name again
+// resets it, so a retried provision leaves no orphan subscription.
+func (c *Client) Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error) {
 	resp, err := c.roundTrip(&request{
 		Kind: reqProvision, Table: table, Columns: columns, Filter: filter, SubName: subName,
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return resp.SubID, resp.Rows, nil
+	return resp.SubID, resp.StartLSN, resp.Rows, nil
 }
 
-// Pull drains up to max pending transactions for a subscription.
-func (c *Client) Pull(subID, max int) ([]repl.TxnBatch, error) {
-	resp, err := c.roundTrip(&request{Kind: reqPull, SubID: subID, Max: max})
+// Pull returns up to max pending transactions for a subscription, first
+// acknowledging (deleting) every batch at or below ack. Returned batches
+// stay queued on the backend until a later Pull acknowledges them, so a
+// response lost in transit is simply re-delivered.
+func (c *Client) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
+	resp, err := c.roundTrip(&request{Kind: reqPull, SubID: subID, Max: max, AckLSN: ack})
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,7 @@ import (
 	"mtcache/internal/engine"
 	"mtcache/internal/exec"
 	"mtcache/internal/opt"
+	"mtcache/internal/resilience"
 	"mtcache/internal/types"
 	"mtcache/internal/wire"
 )
@@ -118,8 +119,38 @@ func ExplainCache(c *Cache, query string) (string, error) { return c.DB.Explain(
 // subscriptions).
 type WireServer = wire.Server
 
-// WireClient is a TCP connection to a backend.
+// WireClient is a TCP connection to a backend. It fails hard on the first
+// transport error; use DialBackendResilient for fault tolerance.
 type WireClient = wire.Client
+
+// BackendClient is the client surface a RemoteCache needs — satisfied by
+// both WireClient and ResilientClient.
+type BackendClient = wire.BackendClient
+
+// ResilientClient is a fault-tolerant backend connection: per-request
+// deadlines, bounded exponential backoff with jitter, automatic re-dial.
+type ResilientClient = wire.ResilientClient
+
+// RetryPolicy tunes the resilient client's retry behaviour.
+type RetryPolicy = resilience.Policy
+
+// DefaultRetryPolicy returns the standard retry policy (4 attempts, 10 ms
+// base delay doubling to a 500 ms cap with ±25% jitter, 2 s request
+// timeout).
+func DefaultRetryPolicy() RetryPolicy { return resilience.DefaultPolicy() }
+
+// ErrBackendDown reports an unreachable backend (errors.Is-comparable).
+var ErrBackendDown = resilience.ErrBackendDown
+
+// ErrTimeout reports a request that exceeded its deadline
+// (errors.Is-comparable).
+var ErrTimeout = resilience.ErrTimeout
+
+// FaultProxy is a fault-injecting TCP proxy for chaos testing.
+type FaultProxy = wire.FaultProxy
+
+// FaultConfig configures a FaultProxy's injected failures.
+type FaultConfig = wire.FaultConfig
 
 // RemoteCache is a cache server connected to its backend over TCP.
 type RemoteCache = wire.RemoteCache
@@ -133,8 +164,21 @@ func DialBackend(addr string, timeout time.Duration) (*WireClient, error) {
 	return wire.Dial(addr, timeout)
 }
 
-// NewRemoteCache provisions a cache over a TCP client connection.
-func NewRemoteCache(name string, client *WireClient, options *Options) (*RemoteCache, error) {
+// DialBackendResilient connects to a backend's wire server with retry,
+// backoff and automatic re-dial under the given policy.
+func DialBackendResilient(addr string, policy RetryPolicy) (*ResilientClient, error) {
+	return wire.DialResilient(addr, policy, nil)
+}
+
+// NewFaultProxy starts a fault-injecting TCP proxy in front of target;
+// dial the proxy's Addr instead of the target to test failure handling.
+func NewFaultProxy(addr, target string, seed int64) (*FaultProxy, error) {
+	return wire.NewFaultProxy(addr, target, seed)
+}
+
+// NewRemoteCache provisions a cache over a TCP client connection (bare or
+// resilient).
+func NewRemoteCache(name string, client BackendClient, options *Options) (*RemoteCache, error) {
 	return wire.NewRemoteCache(name, client, options)
 }
 
