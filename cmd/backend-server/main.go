@@ -14,12 +14,14 @@ import (
 	"time"
 
 	"mtcache"
+	"mtcache/internal/obs"
 	"mtcache/internal/tpcw"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7000", "listen address")
+		httpAddr  = flag.String("http", "", "observability HTTP address (/metrics, /debug/trace/last); empty disables")
 		items     = flag.Int("items", 500, "TPC-W item count")
 		customers = flag.Int("customers", 1000, "TPC-W customer count")
 		empty     = flag.Bool("empty", false, "start with an empty server (no TPC-W data)")
@@ -45,6 +47,15 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("backend serving on %s\n", srv.Addr())
+
+	if *httpAddr != "" {
+		bound, closeHTTP, err := obs.Serve(*httpAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeHTTP() //nolint:errcheck
+		fmt.Printf("observability on http://%s/metrics\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -19,19 +19,22 @@ import (
 
 	"mtcache/internal/advisor"
 	"mtcache/internal/core"
+	"mtcache/internal/metrics"
 	"mtcache/internal/sim"
 	"mtcache/internal/tpcw"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | all")
-		items      = flag.Int("items", 500, "TPC-W item count")
-		customers  = flag.Int("customers", 1000, "TPC-W customer count")
-		servers    = flag.Int("servers", 5, "maximum web/cache servers")
-		reps       = flag.Int("reps", 10, "calibration repetitions per interaction")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | all")
+		items       = flag.Int("items", 500, "TPC-W item count")
+		customers   = flag.Int("customers", 1000, "TPC-W customer count")
+		servers     = flag.Int("servers", 5, "maximum web/cache servers")
+		reps        = flag.Int("reps", 10, "calibration repetitions per interaction")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics-registry snapshot (counters, gauges, histogram quantiles) to this file as JSON")
 	)
 	flag.Parse()
+	defer writeMetricsJSON(*metricsJSON)
 
 	cfg := tpcw.Config{Items: *items, Customers: *customers, OrdersPerCustomer: 0.9, Seed: 20030609}
 
@@ -79,6 +82,24 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "unknown experiment:", *experiment)
 		os.Exit(2)
+	}
+}
+
+// writeMetricsJSON dumps the process-wide metrics registry — the same
+// snapshot the servers expose at /metrics.json — so benchmark runs leave an
+// analyzable record of counters, gauges and latency quantiles.
+func writeMetricsJSON(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-json:", err)
+		return
+	}
+	defer f.Close()
+	if err := metrics.Default.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-json:", err)
 	}
 }
 

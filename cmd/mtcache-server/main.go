@@ -10,8 +10,13 @@
 // queries without a freshness bound are answered from the (possibly stale)
 // cached views.
 //
-// Shell commands: any SQL statement; \explain <query>; \pull; \metrics;
-// \quit.
+// Shell commands: any SQL statement (including EXPLAIN [ANALYZE] <query>);
+// \explain <query>; \trace; \pull; \metrics; \quit.
+//
+// The server also exposes an observability endpoint (-http, default
+// 127.0.0.1:8344): /metrics in Prometheus text format, /metrics.json, and
+// /debug/trace/last with the most recent query's span tree. Run with
+// -shell=false for headless deployments (blocks until SIGINT).
 package main
 
 import (
@@ -20,18 +25,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"mtcache"
 	"mtcache/internal/metrics"
+	"mtcache/internal/obs"
 	"mtcache/internal/tpcw"
+	"mtcache/internal/trace"
 )
 
 func main() {
 	var (
 		backendAddr = flag.String("backend", "127.0.0.1:7000", "backend wire address")
 		name        = flag.String("name", "cache1", "cache server name")
+		httpAddr    = flag.String("http", "127.0.0.1:8344", "observability HTTP address (/metrics, /debug/trace/last); empty disables")
+		shell       = flag.Bool("shell", true, "run the interactive SQL shell on stdin (false = headless, wait for SIGINT)")
 		tpcwViews   = flag.Bool("tpcw-views", true, "create the paper's four TPC-W cached views")
 		pull        = flag.Duration("pull", 200*time.Millisecond, "pull-subscription poll interval")
 		retries     = flag.Int("retries", 0, "max attempts per backend request (0 = default policy)")
@@ -69,7 +79,24 @@ func main() {
 	cache.StartPulling(*pull)
 	defer cache.StopPulling()
 
-	fmt.Println("type SQL statements; \\explain <q>, \\pull, \\metrics, \\quit")
+	if *httpAddr != "" {
+		bound, closeHTTP, err := obs.Serve(*httpAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeHTTP() //nolint:errcheck
+		fmt.Printf("observability on http://%s/metrics\n", bound)
+	}
+
+	if !*shell {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Println("\nshutting down")
+		return
+	}
+
+	fmt.Println("type SQL statements; \\explain <q>, \\trace, \\pull, \\metrics, \\quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -87,9 +114,15 @@ func main() {
 			}
 		case line == `\metrics`:
 			if s := metrics.Default.String(); s == "" {
-				fmt.Println("(no fault-tolerance events yet)")
+				fmt.Println("(no metrics yet)")
 			} else {
 				fmt.Print(s)
+			}
+		case line == `\trace`:
+			if t := trace.Traces.Last(); t == nil {
+				fmt.Println("(no traces recorded)")
+			} else {
+				fmt.Print(trace.Render(t))
 			}
 		case strings.HasPrefix(line, `\explain `):
 			text, err := cache.DB.Explain(strings.TrimPrefix(line, `\explain `))

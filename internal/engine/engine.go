@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"mtcache/internal/catalog"
 	"mtcache/internal/exec"
@@ -29,6 +30,7 @@ import (
 	"mtcache/internal/resilience"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
+	"mtcache/internal/trace"
 	"mtcache/internal/types"
 )
 
@@ -146,15 +148,42 @@ type Result struct {
 
 	// Executor work counters (local to this server).
 	Counters exec.Counters
+
+	// TraceID identifies the trace recorded for this statement ("" when the
+	// statement ran untraced).
+	TraceID string
 }
 
-// Exec parses and executes one SQL statement (query, DML or DDL).
+// Exec parses and executes one SQL statement (query, DML or DDL). The
+// statement is traced; the finished trace lands in trace.Traces.
 func (db *Database) Exec(sqlText string, params exec.Params) (*Result, error) {
+	res, _, err := db.ExecTraced(sqlText, params, "")
+	return res, err
+}
+
+// ExecTraced executes one statement under a trace. An empty traceID starts a
+// fresh trace; a non-empty one (arriving in a wire frame) joins the caller's
+// trace so backend-side spans stitch under the cache-side DataTransfer span.
+// The returned trace is always non-nil and finished.
+func (db *Database) ExecTraced(sqlText string, params exec.Params, traceID string) (*Result, *trace.Trace, error) {
+	tr := trace.New(traceID, db.Name+".exec")
+	tr.Root.Attr("sql", sqlText)
+	sp := tr.Root.Child("parse")
 	stmt, err := sql.Parse(sqlText)
+	sp.End()
+	metrics.Default.Histogram("engine.parse_seconds").ObserveDuration(sp.Duration())
 	if err != nil {
-		return nil, err
+		tr.Finish()
+		trace.Traces.Add(tr)
+		return nil, tr, err
 	}
-	return db.ExecStmt(stmt, params)
+	res, err := db.execStmtSpan(stmt, params, tr.Root)
+	tr.Finish()
+	trace.Traces.Add(tr)
+	if res != nil {
+		res.TraceID = tr.ID
+	}
+	return res, tr, err
 }
 
 // ExecScript executes a multi-statement script, stopping on the first error.
@@ -173,9 +202,15 @@ func (db *Database) ExecScript(script string) error {
 
 // ExecStmt executes a parsed statement.
 func (db *Database) ExecStmt(stmt sql.Statement, params exec.Params) (*Result, error) {
+	return db.execStmtSpan(stmt, params, nil)
+}
+
+// execStmtSpan executes a parsed statement, hanging stage spans off span
+// (nil disables tracing).
+func (db *Database) execStmtSpan(stmt sql.Statement, params exec.Params, span *trace.Span) (*Result, error) {
 	switch x := stmt.(type) {
 	case *sql.SelectStmt:
-		return db.Query(x, params)
+		return db.querySpan(x, params, span)
 	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
 		return db.execDML(stmt, params)
 	case *sql.CreateTableStmt:
@@ -190,6 +225,8 @@ func (db *Database) ExecStmt(stmt sql.Statement, params exec.Params) (*Result, e
 		return db.execProcCall(x, params)
 	case *sql.DropStmt:
 		return db.execDrop(x)
+	case *sql.ExplainStmt:
+		return db.execExplain(x, params, span)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 }
@@ -204,19 +241,32 @@ func (db *Database) ExecStmt(stmt sql.Statement, params exec.Params) (*Result, e
 // degrades — the user asked for a bound the cache can no longer guarantee,
 // so it fails fast with the transport error instead.
 func (db *Database) Query(stmt *sql.SelectStmt, params exec.Params) (*Result, error) {
+	return db.querySpan(stmt, params, nil)
+}
+
+func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, span *trace.Span) (*Result, error) {
+	osp := span.Child("optimize")
+	start := time.Now()
+	var plan *opt.Plan
+	var err error
 	if stmt.Freshness != nil {
-		plan, err := db.planWithFreshness(stmt, params)
-		if err != nil {
-			return nil, err
+		// Freshness-bounded queries are planned per execution against the
+		// views' current staleness, bypassing the plan cache.
+		plan, err = db.planWithFreshness(stmt, params)
+	} else {
+		var hit bool
+		plan, hit, err = db.planCached(stmt)
+		if err == nil {
+			osp.Attr("plan_cache", map[bool]string{true: "hit", false: "miss"}[hit])
 		}
-		return db.RunPlan(plan, params)
 	}
-	plan, err := db.Plan(stmt)
+	osp.End()
+	metrics.Default.Histogram("engine.optimize_seconds").ObserveDuration(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.RunPlan(plan, params)
-	if err != nil && db.role == Cache && resilience.Degradable(err) {
+	res, err := db.runPlanSpan(plan, params, span)
+	if err != nil && stmt.Freshness == nil && db.role == Cache && resilience.Degradable(err) {
 		if lres, lerr := db.queryLocalOnly(stmt, params); lerr == nil {
 			return lres, nil
 		}
@@ -264,21 +314,30 @@ func (db *Database) planWithFreshness(stmt *sql.SelectStmt, params exec.Params) 
 // instead of reoptimizing (paper §5.1: dynamic plans "avoid the need for
 // frequent reoptimization").
 func (db *Database) Plan(stmt *sql.SelectStmt) (*opt.Plan, error) {
+	p, _, err := db.planCached(stmt)
+	return p, err
+}
+
+// planCached is Plan plus a cache-hit indicator, feeding the
+// engine.plan_cache_hits / engine.plan_cache_misses counters.
+func (db *Database) planCached(stmt *sql.SelectStmt) (*opt.Plan, bool, error) {
 	key := sql.Deparse(stmt)
 	db.planMu.Lock()
 	if p, ok := db.planCache[key]; ok {
 		db.planMu.Unlock()
-		return p, nil
+		metrics.Default.Counter("engine.plan_cache_hits").Add(1)
+		return p, true, nil
 	}
 	db.planMu.Unlock()
+	metrics.Default.Counter("engine.plan_cache_misses").Add(1)
 	p, err := opt.Optimize(stmt, db.env())
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	db.planMu.Lock()
 	db.planCache[key] = p
 	db.planMu.Unlock()
-	return p, nil
+	return p, false, nil
 }
 
 // PlanCacheSize reports the number of cached plans.
@@ -292,11 +351,22 @@ func (db *Database) PlanCacheSize() int {
 // per execution: cached plans are shared across sessions, and operators
 // carry per-run state (cursors, hash tables).
 func (db *Database) RunPlan(plan *opt.Plan, params exec.Params) (*Result, error) {
+	return db.runPlanSpan(plan, params, nil)
+}
+
+func (db *Database) runPlanSpan(plan *opt.Plan, params exec.Params, span *trace.Span) (*Result, error) {
+	esp := span.Child("execute")
+	start := time.Now()
 	tx := db.store.Begin(false)
 	defer tx.Abort()
 	res := &Result{}
-	ctx := &exec.Ctx{Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters}
+	ctx := &exec.Ctx{
+		Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
+		Span: esp, TraceID: esp.TraceID(),
+	}
 	rs, err := exec.Run(exec.CloneOperator(plan.Root), ctx)
+	esp.End()
+	metrics.Default.Histogram("engine.execute_seconds").ObserveDuration(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +390,55 @@ func (db *Database) Explain(query string) (string, error) {
 		return "", err
 	}
 	return opt.Explain(p), nil
+}
+
+// execExplain implements EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders
+// the optimized plan. ANALYZE additionally executes a private instrumented
+// clone (its result rows are discarded) and renders per-operator rows,
+// timings and which ChoosePlan branch fired. The rendered text comes back as
+// a one-column result set, one row per line, so it flows through the wire
+// protocol and the shell like any query result.
+func (db *Database) execExplain(x *sql.ExplainStmt, params exec.Params, span *trace.Span) (*Result, error) {
+	sel, ok := x.Stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT")
+	}
+	var plan *opt.Plan
+	var err error
+	if sel.Freshness != nil {
+		plan, err = db.planWithFreshness(sel, params)
+	} else {
+		plan, _, err = db.planCached(sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cols: []exec.ColInfo{{Name: "plan", Kind: types.KindString}}}
+	var text string
+	if x.Analyze {
+		root := exec.Instrument(exec.CloneOperator(plan.Root))
+		esp := span.Child("execute")
+		tx := db.store.Begin(false)
+		ctx := &exec.Ctx{
+			Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
+			Span: esp, TraceID: esp.TraceID(),
+		}
+		start := time.Now()
+		_, runErr := exec.Run(root, ctx)
+		total := time.Since(start)
+		tx.Abort()
+		esp.End()
+		if runErr != nil {
+			return nil, runErr
+		}
+		text = opt.ExplainAnalyze(plan, root, total)
+	} else {
+		text = opt.Explain(plan)
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
+	}
+	return res, nil
 }
 
 // AnalyzeTable recomputes optimizer statistics for one table from its

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"mtcache/internal/trace"
+	"mtcache/internal/types"
+)
+
+// planText runs an EXPLAIN [ANALYZE] statement through the full SQL path and
+// returns the plan column joined into one string.
+func planText(t *testing.T, db *Database, stmt string, params map[string]types.Value) string {
+	t.Helper()
+	res, err := db.Exec(stmt, params)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	if len(res.Cols) != 1 || res.Cols[0].Name != "plan" {
+		t.Fatalf("EXPLAIN must return a single plan column, got %+v", res.Cols)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].Str())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestExplainStatementSQL(t *testing.T) {
+	_, cache := newCachePair(t)
+	text := planText(t, cache, "EXPLAIN SELECT i_title FROM item WHERE i_id = 17", nil)
+	for _, want := range []string{"location=Remote", "DataTransfer [SELECT"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "actual rows=") {
+		t.Errorf("plain EXPLAIN must not execute:\n%s", text)
+	}
+}
+
+func TestExplainAnalyzeStatementSQL(t *testing.T) {
+	_, cache := newCachePair(t)
+	text := planText(t, cache, "EXPLAIN ANALYZE SELECT i_title FROM item WHERE i_id = 17", nil)
+	for _, want := range []string{"actual_time=", "actual rows=1", "DataTransfer [SELECT"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain analyze missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainAnalyzeDynamicBranchSQL(t *testing.T) {
+	_, cache := newCachePair(t)
+	if _, err := cache.Exec("CREATE CACHED VIEW items100 AS SELECT i_id, i_title FROM item WHERE i_id <= 100", nil); err != nil {
+		t.Fatal(err)
+	}
+	// A parameterized point query straddling the cached range yields a
+	// dynamic plan; EXPLAIN shows both ChoosePlan branches.
+	text := planText(t, cache, "EXPLAIN SELECT i_title FROM item WHERE i_id = @id", nil)
+	for _, want := range []string{
+		"dynamic(Fl=",
+		"StartupFilter (ChoosePlan branch=local)",
+		"StartupFilter (ChoosePlan branch=remote)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+	// ANALYZE outside the cached range executes the remote branch only.
+	text = planText(t, cache, "EXPLAIN ANALYZE SELECT i_title FROM item WHERE i_id = @id",
+		map[string]types.Value{"id": types.NewInt(150)})
+	for _, want := range []string{
+		"StartupFilter (ChoosePlan branch=remote) (actual rows=1",
+		"[executed]",
+		"StartupFilter (ChoosePlan branch=local) (actual rows=0",
+		"[pruned]",
+		"(never executed)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain analyze missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainRejectsNesting(t *testing.T) {
+	db := newBackendDB(t)
+	if _, err := db.Exec("EXPLAIN EXPLAIN SELECT i_id FROM item", nil); err == nil {
+		t.Error("nested EXPLAIN should fail to parse")
+	}
+}
+
+// Exec records a finished trace whose remote round-trip carries the grafted
+// backend-side span tree (stitched via the shared trace ID).
+func TestExecRecordsStitchedTrace(t *testing.T) {
+	_, cache := newCachePair(t)
+	res, err := cache.Exec("SELECT i_title FROM item WHERE i_id = 17", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("Result.TraceID not set")
+	}
+	tr := trace.Traces.Last()
+	if tr == nil || tr.ID != res.TraceID {
+		t.Fatalf("last trace %+v does not match result trace ID %q", tr, res.TraceID)
+	}
+	for _, name := range []string{"parse", "optimize", "execute", "remote", "backend.exec"} {
+		if tr.FindSpan(name) == nil {
+			t.Errorf("trace missing span %q:\n%s", name, trace.Render(tr))
+		}
+	}
+	// The grafted backend subtree shares the cache's trace ID.
+	if got := tr.FindSpan("backend.exec").TraceID(); got != tr.ID {
+		t.Errorf("backend span trace ID %q, want %q", got, tr.ID)
+	}
+	if tr.FindSpan("remote").AttrValue("sql") == "" {
+		t.Error("remote span should record the shipped SQL")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mtcache/internal/exec"
+	"mtcache/internal/trace"
 )
 
 // Link is an in-process linked-server connection: it lets one Database act
@@ -24,6 +25,17 @@ func (l *Link) Query(sqlText string, params exec.Params) (*exec.ResultSet, error
 		return nil, fmt.Errorf("link(%s): %w", l.db.Name, err)
 	}
 	return &exec.ResultSet{Cols: res.Cols, Rows: res.Rows}, nil
+}
+
+// QueryTraced implements exec.SpanQuerier: the linked database executes under
+// the caller's trace ID and its span tree is returned for grafting, exactly
+// like the TCP transport does — minus the serialization.
+func (l *Link) QueryTraced(sqlText string, params exec.Params, traceID string) (*exec.ResultSet, *trace.WireSpan, error) {
+	res, tr, err := l.db.ExecTraced(sqlText, params, traceID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("link(%s): %w", l.db.Name, err)
+	}
+	return &exec.ResultSet{Cols: res.Cols, Rows: res.Rows}, trace.Export(tr.Root), nil
 }
 
 // Exec executes SQL text for its side effects (forwarded DML).

@@ -18,7 +18,7 @@ func CloneOperator(op Operator) Operator {
 	case *Filter:
 		return &Filter{Input: CloneOperator(x.Input), Pred: x.Pred}
 	case *StartupFilter:
-		return &StartupFilter{Input: CloneOperator(x.Input), Guard: x.Guard}
+		return &StartupFilter{Input: CloneOperator(x.Input), Guard: x.Guard, Branch: x.Branch}
 	case *Project:
 		return &Project{Input: CloneOperator(x.Input), Exprs: x.Exprs, Cols: x.Cols}
 	case *Limit:
@@ -50,6 +50,8 @@ func CloneOperator(op Operator) Operator {
 		return &Remote{SQLText: x.SQLText, Cols: x.Cols}
 	case *Values:
 		return &Values{Cols: x.Cols, Rows: x.Rows}
+	case *Instrumented:
+		return &Instrumented{Op: CloneOperator(x.Op)}
 	}
 	panic(fmt.Sprintf("exec: CloneOperator: unknown operator %T", op))
 }

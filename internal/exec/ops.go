@@ -3,8 +3,11 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"mtcache/internal/metrics"
 	"mtcache/internal/storage"
+	"mtcache/internal/trace"
 	"mtcache/internal/types"
 )
 
@@ -28,6 +31,15 @@ type RemoteClient interface {
 	Exec(sqlText string, params Params) (int64, error)
 }
 
+// SpanQuerier is an optional extension of RemoteClient: clients that
+// implement it propagate the trace ID to the backend and return the
+// backend-side span tree, which the Remote operator grafts into the
+// cache-side trace. Clients that do not implement it still work — the trace
+// just shows the round-trip as a leaf.
+type SpanQuerier interface {
+	QueryTraced(sqlText string, params Params, traceID string) (*ResultSet, *trace.WireSpan, error)
+}
+
 // Counters accumulates executor work for cost accounting and tests.
 type Counters struct {
 	RowsScanned   int64 // rows read from local heaps and indexes
@@ -42,6 +54,8 @@ type Ctx struct {
 	Txn      *storage.Txn
 	Remote   RemoteClient
 	Counters *Counters
+	Span     *trace.Span // execute-stage span, nil when tracing is off
+	TraceID  string      // propagated to the backend on DataTransfer
 }
 
 // Operator is a Volcano iterator.
@@ -239,8 +253,9 @@ func (f *Filter) Close() error { return f.Input.Close() }
 // expression is not opened"). Two StartupFilters with complementary guards
 // under a UnionAll implement ChoosePlan.
 type StartupFilter struct {
-	Input Operator
-	Guard Expr
+	Input  Operator
+	Guard  Expr
+	Branch string // "local"/"remote" when part of a ChoosePlan, else ""
 
 	active bool
 }
@@ -259,8 +274,15 @@ func (s *StartupFilter) Open(ctx *Ctx) error {
 		}
 		return nil
 	}
+	if s.Branch != "" {
+		metrics.Default.Counter("opt.chooseplan_" + s.Branch).Add(1)
+		ctx.Span.Attr("chooseplan", s.Branch)
+	}
 	return s.Input.Open(ctx)
 }
+
+// Active reports whether the guard passed at the last Open (EXPLAIN ANALYZE).
+func (s *StartupFilter) Active() bool { return s.active }
 
 func (s *StartupFilter) Next(ctx *Ctx) (types.Row, error) {
 	if !s.active {
@@ -685,7 +707,19 @@ func (r *Remote) Open(ctx *Ctx) error {
 	if ctx.Remote == nil {
 		return fmt.Errorf("exec: no remote server configured for query %q", r.SQLText)
 	}
-	rs, err := ctx.Remote.Query(r.SQLText, ctx.Params)
+	sp := ctx.Span.Child("remote").Attr("sql", r.SQLText)
+	start := time.Now()
+	var rs *ResultSet
+	var err error
+	if sq, ok := ctx.Remote.(SpanQuerier); ok && ctx.TraceID != "" {
+		var wspan *trace.WireSpan
+		rs, wspan, err = sq.QueryTraced(r.SQLText, ctx.Params, ctx.TraceID)
+		sp.Graft(wspan)
+	} else {
+		rs, err = ctx.Remote.Query(r.SQLText, ctx.Params)
+	}
+	metrics.Default.Histogram("exec.remote_roundtrip_seconds").ObserveDuration(time.Since(start))
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("exec: remote query failed: %w", err)
 	}

@@ -102,16 +102,31 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) from retained samples.
+// Quantile returns the q-quantile from retained samples using the
+// nearest-rank definition: the smallest retained sample such that at least
+// q·n samples are ≤ it. q is clamped to [0, 1]; truncating int(q*(n-1))
+// would under-report high percentiles on small sample sets (e.g. p99 of 10
+// samples must be the maximum, not the 9th value).
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	s := append([]float64(nil), h.samples...)
 	sort.Float64s(s)
-	idx := int(q * float64(len(s)-1))
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
 	return s[idx]
 }
 
@@ -141,18 +156,24 @@ func (h *Histogram) String() string {
 		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max())
 }
 
-// Registry is a named-counter registry. The wire layer and the engine use
-// it to publish fault-handling counters (retries, reconnects, timeouts,
-// degraded-to-stale answers) without threading counter structs through every
-// constructor. Counters are created on first use.
+// Registry is a named-instrument registry: counters, gauges and histograms,
+// created on first use. The wire layer, engine, optimizer and replication
+// pipeline use it to publish observability data without threading instrument
+// structs through every constructor.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Default is the process-wide registry. Well-known names:
@@ -180,6 +201,42 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram (default sample retention),
+// creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset drops every registered instrument. Tests that assert on Default use
+// it so state does not leak between test cases. Instrument pointers obtained
+// before the reset keep working but are no longer published.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+	r.mu.Unlock()
+}
+
 // Snapshot returns the current value of every counter.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
@@ -197,19 +254,60 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
-// String renders the registry as sorted "name=value" lines.
+// GaugeSnapshot returns the current value of every gauge.
+func (r *Registry) GaugeSnapshot() map[string]float64 {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		names = append(names, n)
+		gauges = append(gauges, g)
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = gauges[i].Value()
+	}
+	return out
+}
+
+// histogramsCopy snapshots the histogram map under the lock.
+func (r *Registry) histogramsCopy() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		out[n] = h
+	}
+	return out
+}
+
+// String renders the registry as sorted "name=value" lines: counters first,
+// then gauges, then histogram summaries.
 func (r *Registry) String() string {
+	var b []byte
 	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for n := range snap {
+	for _, n := range sortedKeys(snap) {
+		b = append(b, fmt.Sprintf("%s=%d\n", n, snap[n])...)
+	}
+	gsnap := r.GaugeSnapshot()
+	for _, n := range sortedKeys(gsnap) {
+		b = append(b, fmt.Sprintf("%s=%g\n", n, gsnap[n])...)
+	}
+	hists := r.histogramsCopy()
+	for _, n := range sortedKeys(hists) {
+		b = append(b, fmt.Sprintf("%s: %s\n", n, hists[n].String())...)
+	}
+	return string(b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var b []byte
-	for _, n := range names {
-		b = append(b, fmt.Sprintf("%s=%d\n", n, snap[n])...)
-	}
-	return string(b)
+	return names
 }
 
 // Gauge is a thread-safe instantaneous value.

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	// Nearest-rank: p99 of 10 samples must be the maximum, not the 9th value.
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("p99 of 1..10 = %v, want 10", got)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 of 1..10 = %v, want 5", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+	// q outside [0,1] clamps instead of panicking or indexing out of range.
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Errorf("q=-0.5 = %v, want min", got)
+	}
+	if got := h.Quantile(2); got != 10 {
+		t.Errorf("q=2 = %v, want max", got)
+	}
+}
+
+func TestRegistryGaugeHistogramReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.5)
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge must return the same instrument for the same name")
+	}
+	if got := r.Gauge("g").Value(); got != 1.5 {
+		t.Errorf("gauge value: %v", got)
+	}
+	r.Histogram("h").Observe(2)
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram must return the same instrument for the same name")
+	}
+	if got := r.Histogram("h").Count(); got != 1 {
+		t.Errorf("histogram count: %d", got)
+	}
+
+	r.Reset()
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("counter after reset: %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("gauge after reset: %v", got)
+	}
+	if got := r.Histogram("h").Count(); got != 0 {
+		t.Errorf("histogram after reset: %d", got)
+	}
+}
+
+func TestRegistryStringIncludesGaugesAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("lag").Set(0.25)
+	r.Histogram("lat").Observe(1)
+	s := r.String()
+	for _, want := range []string{"a=2\n", "lag=0.25\n", "lat: n=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExportSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(7)
+	r.Gauge("lag").Set(0.5)
+	for i := 1; i <= 4; i++ {
+		r.Histogram("lat").Observe(float64(i))
+	}
+	e := r.Export()
+	if e.Counters["hits"] != 7 {
+		t.Errorf("counters: %v", e.Counters)
+	}
+	if e.Gauges["lag"] != 0.5 {
+		t.Errorf("gauges: %v", e.Gauges)
+	}
+	h := e.Histograms["lat"]
+	if h.Count != 4 || h.Min != 1 || h.Max != 4 || h.Mean != 2.5 {
+		t.Errorf("histogram stats: %+v", h)
+	}
+	if h.P99 != 4 {
+		t.Errorf("p99: %v", h.P99)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wire.retries").Add(3)
+	r.Gauge("repl.lag_seconds.cv_item").Set(0.125)
+	for i := 1; i <= 100; i++ {
+		r.Histogram("engine.execute_seconds").Observe(float64(i) / 1000)
+	}
+	var b strings.Builder
+	WritePrometheus(&b, r)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mtcache_wire_retries counter\n",
+		"mtcache_wire_retries 3\n",
+		"# TYPE mtcache_repl_lag_seconds_cv_item gauge\n",
+		"mtcache_repl_lag_seconds_cv_item 0.125\n",
+		"# TYPE mtcache_engine_execute_seconds summary\n",
+		`mtcache_engine_execute_seconds{quantile="0.5"} 0.05`,
+		`mtcache_engine_execute_seconds{quantile="0.99"} 0.099`,
+		"mtcache_engine_execute_seconds_count 100\n",
+		"mtcache_engine_execute_seconds_sum ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".cv_item") {
+		t.Error("metric names must be sanitized (no dots)")
+	}
+}

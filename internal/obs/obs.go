@@ -1,0 +1,73 @@
+// Package obs exposes the process's observability state over HTTP:
+//
+//	/metrics           Prometheus text exposition of the metrics registry
+//	/metrics.json      the same snapshot as JSON
+//	/debug/trace/last  the most recent query trace, rendered as a text tree
+//	/debug/traces      the recent-trace ring, newest first
+//
+// Both server binaries mount it; tests hit it through httptest.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"mtcache/internal/metrics"
+	"mtcache/internal/trace"
+)
+
+// Handler returns the observability mux over a registry and a trace
+// collector. nil arguments select the process-wide defaults.
+func Handler(reg *metrics.Registry, traces *trace.Collector) http.Handler {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if traces == nil {
+		traces = trace.Traces
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w) //nolint:errcheck — best-effort over HTTP
+	})
+	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		t := traces.Last()
+		if t == nil {
+			fmt.Fprintln(w, "(no traces recorded)")
+			return
+		}
+		fmt.Fprint(w, trace.Render(t))
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		recent := traces.Recent(0)
+		if len(recent) == 0 {
+			fmt.Fprintln(w, "(no traces recorded)")
+			return
+		}
+		for _, t := range recent {
+			fmt.Fprint(w, trace.Render(t))
+			fmt.Fprintln(w)
+		}
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:8344")
+// in a background goroutine and returns the bound listener address. The
+// listener is closed with the returned closer.
+func Serve(addr string, reg *metrics.Registry, traces *trace.Collector) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, traces)}
+	go srv.Serve(ln) //nolint:errcheck — closed via the returned closer
+	return ln.Addr().String(), srv.Close, nil
+}

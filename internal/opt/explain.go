@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"mtcache/internal/exec"
 )
@@ -19,6 +20,27 @@ func ExplainOperator(op exec.Operator) string {
 // Explain renders a Plan with its headline properties.
 func Explain(p *Plan) string {
 	var b strings.Builder
+	b.WriteString(planHeader(p))
+	b.WriteString("\n")
+	explainRec(&b, p.Root, 0)
+	return b.String()
+}
+
+// ExplainAnalyze renders a Plan annotated with the runtime statistics
+// gathered by an instrumented execution of root (an exec.Instrument-wrapped
+// clone of p.Root). Each operator line carries actual rows and wall time;
+// subtrees a StartupFilter pruned render "(never executed)", and ChoosePlan
+// branches state whether they executed or were pruned.
+func ExplainAnalyze(p *Plan, root exec.Operator, total time.Duration) string {
+	var b strings.Builder
+	b.WriteString(planHeader(p))
+	fmt.Fprintf(&b, " actual_time=%s\n", fmtOpDur(total))
+	analyzeRec(&b, root, 0)
+	return b.String()
+}
+
+func planHeader(p *Plan) string {
+	var b strings.Builder
 	fmt.Fprintf(&b, "cost=%.1f card=%.0f", p.Cost, p.Card)
 	if p.Dynamic {
 		fmt.Fprintf(&b, " dynamic(Fl=%.3f)", p.GuardFraction)
@@ -34,67 +56,121 @@ func Explain(p *Plan) string {
 	if len(p.UsedViews) > 0 {
 		fmt.Fprintf(&b, " views=%s", strings.Join(p.UsedViews, ","))
 	}
-	b.WriteString("\n")
-	explainRec(&b, p.Root, 0)
 	return b.String()
 }
 
-func explainRec(b *strings.Builder, op exec.Operator, depth int) {
-	pad := strings.Repeat("  ", depth)
+// opLine renders one operator's own line (no children, no indent).
+func opLine(op exec.Operator) string {
 	switch x := op.(type) {
 	case *exec.Scan:
-		fmt.Fprintf(b, "%sScan %s\n", pad, x.TableName)
+		return fmt.Sprintf("Scan %s", x.TableName)
 	case *exec.IndexScan:
-		fmt.Fprintf(b, "%sIndexSeek %s.%s\n", pad, x.TableName, x.IndexName)
+		return fmt.Sprintf("IndexSeek %s.%s", x.TableName, x.IndexName)
 	case *exec.Filter:
-		fmt.Fprintf(b, "%sFilter\n", pad)
-		explainRec(b, x.Input, depth+1)
+		return "Filter"
 	case *exec.StartupFilter:
-		fmt.Fprintf(b, "%sStartupFilter (ChoosePlan branch)\n", pad)
-		explainRec(b, x.Input, depth+1)
+		if x.Branch != "" {
+			return fmt.Sprintf("StartupFilter (ChoosePlan branch=%s)", x.Branch)
+		}
+		return "StartupFilter (ChoosePlan branch)"
 	case *exec.Project:
-		fmt.Fprintf(b, "%sProject %s\n", pad, colNames(x.Cols))
-		explainRec(b, x.Input, depth+1)
+		return fmt.Sprintf("Project %s", colNames(x.Cols))
 	case *exec.Limit:
-		fmt.Fprintf(b, "%sTop\n", pad)
-		explainRec(b, x.Input, depth+1)
+		return "Top"
 	case *exec.Sort:
-		fmt.Fprintf(b, "%sSort\n", pad)
-		explainRec(b, x.Input, depth+1)
+		return "Sort"
 	case *exec.Distinct:
-		fmt.Fprintf(b, "%sDistinct\n", pad)
-		explainRec(b, x.Input, depth+1)
+		return "Distinct"
 	case *exec.HashAgg:
-		fmt.Fprintf(b, "%sHashAggregate groups=%d aggs=%d\n", pad, len(x.GroupBy), len(x.Aggs))
-		explainRec(b, x.Input, depth+1)
+		return fmt.Sprintf("HashAggregate groups=%d aggs=%d", len(x.GroupBy), len(x.Aggs))
 	case *exec.HashJoin:
-		kind := "HashJoin"
 		if x.LeftOuter {
-			kind = "HashLeftJoin"
+			return "HashLeftJoin"
 		}
-		fmt.Fprintf(b, "%s%s\n", pad, kind)
-		explainRec(b, x.Left, depth+1)
-		explainRec(b, x.Right, depth+1)
+		return "HashJoin"
 	case *exec.NestedLoop:
-		kind := "NestedLoop"
 		if x.LeftOuter {
-			kind = "NestedLoopLeft"
+			return "NestedLoopLeft"
 		}
-		fmt.Fprintf(b, "%s%s\n", pad, kind)
-		explainRec(b, x.Left, depth+1)
-		explainRec(b, x.Right, depth+1)
+		return "NestedLoop"
 	case *exec.UnionAll:
-		fmt.Fprintf(b, "%sUnionAll\n", pad)
-		for _, in := range x.Inputs {
-			explainRec(b, in, depth+1)
-		}
+		return "UnionAll"
 	case *exec.Remote:
-		fmt.Fprintf(b, "%sDataTransfer [%s]\n", pad, x.SQLText)
+		return fmt.Sprintf("DataTransfer [%s]", x.SQLText)
 	case *exec.Values:
-		fmt.Fprintf(b, "%sValues rows=%d\n", pad, len(x.Rows))
+		return fmt.Sprintf("Values rows=%d", len(x.Rows))
 	default:
-		fmt.Fprintf(b, "%s%T\n", pad, op)
+		return fmt.Sprintf("%T", op)
 	}
+}
+
+// opChildren returns an operator's inputs in display order.
+func opChildren(op exec.Operator) []exec.Operator {
+	switch x := op.(type) {
+	case *exec.Filter:
+		return []exec.Operator{x.Input}
+	case *exec.StartupFilter:
+		return []exec.Operator{x.Input}
+	case *exec.Project:
+		return []exec.Operator{x.Input}
+	case *exec.Limit:
+		return []exec.Operator{x.Input}
+	case *exec.Sort:
+		return []exec.Operator{x.Input}
+	case *exec.Distinct:
+		return []exec.Operator{x.Input}
+	case *exec.HashAgg:
+		return []exec.Operator{x.Input}
+	case *exec.HashJoin:
+		return []exec.Operator{x.Left, x.Right}
+	case *exec.NestedLoop:
+		return []exec.Operator{x.Left, x.Right}
+	case *exec.UnionAll:
+		return x.Inputs
+	}
+	return nil
+}
+
+func explainRec(b *strings.Builder, op exec.Operator, depth int) {
+	if inst, ok := op.(*exec.Instrumented); ok {
+		explainRec(b, inst.Op, depth)
+		return
+	}
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), opLine(op))
+	for _, c := range opChildren(op) {
+		explainRec(b, c, depth+1)
+	}
+}
+
+func analyzeRec(b *strings.Builder, op exec.Operator, depth int) {
+	inner := op
+	inst, ok := op.(*exec.Instrumented)
+	if ok {
+		inner = inst.Op
+	}
+	line := opLine(inner)
+	if ok {
+		if !inst.Stats.Opened {
+			line += " (never executed)"
+		} else {
+			line += fmt.Sprintf(" (actual rows=%d time=%s)", inst.Stats.Rows, fmtOpDur(inst.Stats.Time))
+			if sf, isSF := inner.(*exec.StartupFilter); isSF {
+				if sf.Active() {
+					line += " [executed]"
+				} else {
+					line += " [pruned]"
+				}
+			}
+		}
+	}
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), line)
+	for _, c := range opChildren(inner) {
+		analyzeRec(b, c, depth+1)
+	}
+}
+
+func fmtOpDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
 }
 
 func colNames(cols []exec.ColInfo) string {

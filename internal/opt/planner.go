@@ -6,6 +6,7 @@ import (
 
 	"mtcache/internal/catalog"
 	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
 	"mtcache/internal/sql"
 	"mtcache/internal/types"
 )
@@ -153,7 +154,32 @@ func (pl *planner) finish(p *plan) (*Plan, error) {
 		_ = r
 		out.FullyRemote = true
 	}
+	pl.countPlan(out)
 	return out, nil
+}
+
+// countPlan publishes per-view hit/miss and plan-shape counters for plans
+// produced on a cache (backend-side planning is not cache routing).
+func (pl *planner) countPlan(p *Plan) {
+	if !pl.env.IsCache {
+		return
+	}
+	if len(p.UsedViews) == 0 {
+		metrics.Default.Counter("opt.view_miss").Add(1)
+	}
+	for _, v := range p.UsedViews {
+		metrics.Default.Counter("opt.view_hit." + v).Add(1)
+	}
+	switch {
+	case p.Dynamic:
+		metrics.Default.Counter("opt.plan_dynamic").Add(1)
+	case p.FullyLocal:
+		metrics.Default.Counter("opt.plan_local").Add(1)
+	case p.FullyRemote:
+		metrics.Default.Counter("opt.plan_remote").Add(1)
+	default:
+		metrics.Default.Counter("opt.plan_mixed").Add(1)
+	}
 }
 
 func collectRemote(op exec.Operator, out *[]string) {
@@ -208,8 +234,8 @@ func (pl *planner) materialize(p *plan) (*plan, error) {
 			return nil, err
 		}
 		op := &exec.UnionAll{Inputs: []exec.Operator{
-			&exec.StartupFilter{Guard: guard, Input: m.op},
-			&exec.StartupFilter{Guard: &exec.NotExpr{X: guard}, Input: alt.op},
+			&exec.StartupFilter{Guard: guard, Input: m.op, Branch: branchOf(m.op)},
+			&exec.StartupFilter{Guard: &exec.NotExpr{X: guard}, Input: alt.op, Branch: branchOf(alt.op)},
 		}}
 		fl := p.dyn.fl
 		return &plan{
@@ -220,6 +246,17 @@ func (pl *planner) materialize(p *plan) (*plan, error) {
 		}, nil
 	}
 	return pl.toLocal(p), nil
+}
+
+// branchOf labels a ChoosePlan branch by where its rows come from: "remote"
+// when the subtree contains a DataTransfer, "local" otherwise.
+func branchOf(op exec.Operator) string {
+	var remote []string
+	collectRemote(op, &remote)
+	if len(remote) > 0 {
+		return "remote"
+	}
+	return "local"
 }
 
 // toLocal applies the DataTransfer enforcer when needed.

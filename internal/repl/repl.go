@@ -302,7 +302,11 @@ func (s *Server) snapshot(sub *Subscription) error {
 // distribution database. Returns the number of commit records processed.
 func (s *Server) RunLogReader() int {
 	start := time.Now()
-	defer func() { s.Stats.ReaderTime.Add(int64(time.Since(start))) }()
+	defer func() {
+		d := time.Since(start)
+		s.Stats.ReaderTime.Add(int64(d))
+		metrics.Default.Histogram("repl.reader_seconds").ObserveDuration(d)
+	}()
 
 	s.mu.Lock()
 	if !s.readerOn {
@@ -323,6 +327,8 @@ func (s *Server) RunLogReader() int {
 				sub.currentAsOf = start
 			}
 			sub.mu.Unlock()
+			metrics.Default.Gauge("repl.staleness_seconds." + sub.Name).
+				Set(sub.Staleness(time.Now()).Seconds())
 		}
 	}()
 
@@ -418,7 +424,11 @@ func (s *Server) truncate() {
 // number of transactions applied.
 func (s *Server) RunDistribution(sub *Subscription) (int, error) {
 	start := time.Now()
-	defer func() { s.Stats.ApplyTime.Add(int64(time.Since(start))) }()
+	defer func() {
+		d := time.Since(start)
+		s.Stats.ApplyTime.Add(int64(d))
+		metrics.Default.Histogram("repl.apply_seconds").ObserveDuration(d)
+	}()
 
 	sub.mu.Lock()
 	pending := sub.queue
@@ -441,7 +451,9 @@ func (s *Server) RunDistribution(sub *Subscription) (int, error) {
 		}
 		s.Stats.TxnsApplied.Add(1)
 		s.Stats.ChangesApplied.Add(int64(len(changes)))
-		s.Stats.Latency.ObserveDuration(time.Since(txn.commitTime))
+		lat := time.Since(txn.commitTime)
+		s.Stats.Latency.ObserveDuration(lat)
+		metrics.Default.Histogram("repl.latency_seconds").ObserveDuration(lat)
 	}
 	return len(pending), nil
 }

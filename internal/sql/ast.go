@@ -196,6 +196,14 @@ type DropStmt struct {
 	Name string
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN renders the
+// optimized plan; ANALYZE also executes it and reports per-operator rows and
+// timings.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    Statement
+}
+
 func (*SelectStmt) stmtNode()      {}
 func (*InsertStmt) stmtNode()      {}
 func (*UpdateStmt) stmtNode()      {}
@@ -206,6 +214,7 @@ func (*CreateViewStmt) stmtNode()  {}
 func (*CreateProcStmt) stmtNode()  {}
 func (*ExecStmt) stmtNode()        {}
 func (*DropStmt) stmtNode()        {}
+func (*ExplainStmt) stmtNode()     {}
 
 // Expr is any scalar expression.
 type Expr interface{ exprNode() }

@@ -41,7 +41,7 @@ var keywords = map[string]bool{
 	"PROC": true, "EXEC": true, "EXECUTE": true, "DROP": true,
 	"PRIMARY": true, "KEY": true, "DEFAULT": true, "BEGIN": true, "END": true,
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
-	"WITH": true, "FRESHNESS": true,
+	"WITH": true, "FRESHNESS": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // lexer tokenizes SQL text.

@@ -181,8 +181,29 @@ func (p *parser) statement() (Statement, error) {
 		return p.dropStmt()
 	case "EXEC", "EXECUTE":
 		return p.execStmt()
+	case "EXPLAIN":
+		return p.explainStmt()
 	}
 	return nil, p.errf("unsupported statement %s", t.text)
+}
+
+func (p *parser) explainStmt() (*ExplainStmt, error) {
+	if err := p.expectKw("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	e := &ExplainStmt{}
+	if p.acceptKw("ANALYZE") {
+		e.Analyze = true
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, nested := inner.(*ExplainStmt); nested {
+		return nil, p.errf("EXPLAIN cannot be nested")
+	}
+	e.Stmt = inner
+	return e, nil
 }
 
 func (p *parser) selectStmt() (*SelectStmt, error) {

@@ -77,6 +77,12 @@ func printStmt(b *strings.Builder, s Statement) {
 		}
 	case *DropStmt:
 		fmt.Fprintf(b, "DROP %s %s", x.What, x.Name)
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN ")
+		if x.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+		printStmt(b, x.Stmt)
 	default:
 		fmt.Fprintf(b, "/* unknown statement %T */", s)
 	}

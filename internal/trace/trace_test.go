@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndRender(t *testing.T) {
+	tr := New("", "cache.exec")
+	if tr.ID == "" {
+		t.Fatal("New must generate an ID")
+	}
+	p := tr.Root.Child("parse")
+	p.End()
+	e := tr.Root.Child("execute").Attr("chooseplan", "local")
+	r := e.Child("remote").Attr("sql", "SELECT 1")
+	r.End()
+	e.End()
+	tr.Finish()
+
+	if got := tr.Root.TraceID(); got != tr.ID {
+		t.Errorf("root trace ID %q != %q", got, tr.ID)
+	}
+	if e.AttrValue("chooseplan") != "local" {
+		t.Errorf("attr lost: %q", e.AttrValue("chooseplan"))
+	}
+	if tr.FindSpan("remote") == nil {
+		t.Error("FindSpan(remote) = nil")
+	}
+	text := Render(tr)
+	for _, want := range []string{"trace " + tr.ID, "parse", "execute", `chooseplan="local"`, "remote", `sql="SELECT 1"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	// Indentation encodes the tree: remote is nested two levels deep.
+	if !strings.Contains(text, "\n    remote") {
+		t.Errorf("remote not nested under execute:\n%s", text)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	// Every method must be a no-op on nil, so untraced paths need no checks.
+	c := s.Child("x")
+	if c != nil {
+		t.Error("nil.Child must return nil")
+	}
+	s.End()
+	s.Attr("k", "v")
+	s.Graft(&WireSpan{Name: "w"})
+	if s.Name() != "" || s.TraceID() != "" || s.AttrValue("k") != "" || s.Duration() != 0 || s.Children() != nil {
+		t.Error("nil span accessors must return zero values")
+	}
+}
+
+func TestExportGraftRoundTrip(t *testing.T) {
+	// Backend-side trace.
+	backend := New("shared-id", "backend.exec")
+	backend.Root.Child("parse").End()
+	backend.Root.Child("execute").Attr("rows", "42").End()
+	backend.Finish()
+
+	w := Export(backend.Root)
+	if w.Name != "backend.exec" || len(w.Children) != 2 {
+		t.Fatalf("export shape: %+v", w)
+	}
+
+	// Cache-side trace grafts the exported tree under its remote span.
+	cache := New("shared-id", "cache.exec")
+	remote := cache.Root.Child("remote")
+	remote.Graft(w)
+	remote.End()
+	cache.Finish()
+
+	grafted := cache.FindSpan("backend.exec")
+	if grafted == nil {
+		t.Fatal("grafted backend root not found")
+	}
+	if grafted.TraceID() != "shared-id" {
+		t.Errorf("grafted span trace ID: %q", grafted.TraceID())
+	}
+	if cache.FindSpan("execute").AttrValue("rows") != "42" {
+		t.Error("grafted attrs lost")
+	}
+	names := cache.SpanNames()
+	want := []string{"backend.exec", "cache.exec", "execute", "parse", "remote"}
+	if len(names) != len(want) {
+		t.Fatalf("span names: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("span names: %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSpanDurationRecorded(t *testing.T) {
+	tr := New("", "q")
+	s := tr.Root.Child("stage")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d := s.Duration()
+	if d < time.Millisecond {
+		t.Errorf("duration %v too small", d)
+	}
+	time.Sleep(time.Millisecond)
+	if s.Duration() != d {
+		t.Error("duration must be frozen after End")
+	}
+}
+
+func TestCollectorRing(t *testing.T) {
+	c := NewCollector(3)
+	if c.Last() != nil {
+		t.Error("empty collector Last must be nil")
+	}
+	for i := 0; i < 5; i++ {
+		tr := New("", "q")
+		tr.Finish()
+		c.Add(tr)
+		if c.Last() != tr {
+			t.Fatalf("Last after add %d", i)
+		}
+	}
+	recent := c.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("ring retained %d traces, want 3", len(recent))
+	}
+	if recent[0] != c.Last() {
+		t.Error("Recent must be newest-first")
+	}
+	c.Reset()
+	if c.Last() != nil || len(c.Recent(0)) != 0 {
+		t.Error("Reset must drop all traces")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}

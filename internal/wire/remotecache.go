@@ -151,6 +151,10 @@ func (rc *RemoteCache) Pull() (int, error) {
 	rc.mu.Unlock()
 	total := 0
 	var firstErr error
+	pullStart := time.Now()
+	defer func() {
+		rc.reg.Histogram("repl.pull_seconds").ObserveDuration(time.Since(pullStart))
+	}()
 	for i, p := range pulls {
 		batches, err := rc.client.Pull(p.subID, 0, p.lastLSN)
 		if err != nil {
@@ -187,7 +191,21 @@ func (rc *RemoteCache) Pull() (int, error) {
 		}
 		rc.mu.Unlock()
 	}
+	rc.publishLag()
 	return total, firstErr
+}
+
+// publishLag refreshes the per-view replication-lag gauges: seconds since
+// each subscription's last successful pull (how stale the view may be).
+func (rc *RemoteCache) publishLag() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, p := range rc.pulls {
+		if p.lastPull.IsZero() {
+			continue
+		}
+		rc.reg.Gauge("repl.lag_seconds." + p.view).Set(time.Since(p.lastPull).Seconds())
+	}
 }
 
 func (rc *RemoteCache) applyBatch(view string, b repl.TxnBatch) error {

@@ -11,6 +11,7 @@ import (
 	"mtcache/internal/repl"
 	"mtcache/internal/resilience"
 	"mtcache/internal/storage"
+	"mtcache/internal/trace"
 	"mtcache/internal/types"
 )
 
@@ -173,6 +174,24 @@ func (r *ResilientClient) Query(sqlText string, params exec.Params) (*exec.Resul
 		return nil, err
 	}
 	return rs, nil
+}
+
+// QueryTraced implements exec.SpanQuerier (idempotent: retried). The
+// backend-side span tree of the successful attempt is returned.
+func (r *ResilientClient) QueryTraced(sqlText string, params exec.Params, traceID string) (*exec.ResultSet, *trace.WireSpan, error) {
+	var (
+		rs   *exec.ResultSet
+		span *trace.WireSpan
+	)
+	err := r.do(true, func(c *Client) error {
+		var e error
+		rs, span, e = c.QueryTraced(sqlText, params, traceID)
+		return e
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, span, nil
 }
 
 // Exec implements exec.RemoteClient. Forwarded DML is not idempotent, so it

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/resilience"
+	"mtcache/internal/trace"
+	"mtcache/internal/types"
+)
+
+// QueryTraced ships the trace ID in the request frame and returns the
+// backend's span tree alongside the rows.
+func TestWireQueryTraced(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	c := dial(t, srv)
+
+	rs, w, err := c.QueryTraced("SELECT name FROM part WHERE id = @id",
+		exec.Params{"id": types.NewInt(7)}, "trace-123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows: %d", len(rs.Rows))
+	}
+	if w == nil {
+		t.Fatal("no span returned for a traced query")
+	}
+	if w.Name != "backend.exec" {
+		t.Errorf("backend span name: %q", w.Name)
+	}
+	var names []string
+	for _, ch := range w.Children {
+		names = append(names, ch.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"parse", "optimize", "execute"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("backend span children missing %q: %v", want, names)
+		}
+	}
+}
+
+// A query through a remote cache stitches the backend's spans (shipped over
+// TCP in the response frame) under the cache-side remote span.
+func TestWireTraceStitchedAcrossLink(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	c := dial(t, srv)
+	rc, err := NewRemoteCache("tcpcache", c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := rc.DB.Exec("SELECT name FROM part WHERE id = 500", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RemoteQueries != 1 {
+		t.Fatalf("expected a remote round-trip: %+v", res.Counters)
+	}
+	tr := trace.Traces.Last()
+	if tr == nil || tr.ID != res.TraceID {
+		t.Fatalf("last trace does not match result trace ID %q", res.TraceID)
+	}
+	for _, name := range []string{"remote", "backend.exec"} {
+		if tr.FindSpan(name) == nil {
+			t.Fatalf("trace missing span %q:\n%s", name, trace.Render(tr))
+		}
+	}
+	// The grafted backend subtree carries the cache's trace ID: one tree.
+	if got := tr.FindSpan("backend.exec").TraceID(); got != tr.ID {
+		t.Errorf("backend span trace ID %q, want %q", got, tr.ID)
+	}
+	text := trace.Render(tr)
+	for _, want := range []string{"tcpcache.exec", "backend.exec", "remote"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The resilient client passes traced queries through its retry loop.
+func TestResilientQueryTraced(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	r, err := DialResilient(srv.Addr(), resilience.Policy{
+		MaxAttempts: 2, RequestTimeout: time.Second,
+		BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Multiplier: 1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs, w, err := r.QueryTraced("SELECT COUNT(*) FROM part", nil, "trace-xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Int() != 1000 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	if w == nil || w.Name != "backend.exec" {
+		t.Fatalf("resilient traced span: %+v", w)
+	}
+}
+
+// Pulling publishes a per-view replication-lag gauge.
+func TestPullPublishesLagGauge(t *testing.T) {
+	_, srv := newWiredBackend(t)
+	c := dial(t, srv)
+	rc, err := NewRemoteCache("tcpcache", c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.CreateCachedView("CREATE CACHED VIEW lagview AS SELECT id, name FROM part WHERE id <= 10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Pull(); err != nil { // second round: lastPull is now set
+		t.Fatal(err)
+	}
+	snap := metrics.Default.GaugeSnapshot()
+	if _, ok := snap["repl.lag_seconds.lagview"]; !ok {
+		t.Errorf("lag gauge missing: %v", snap)
+	}
+	if metrics.Default.Histogram("repl.pull_seconds").Count() == 0 {
+		t.Error("pull latency histogram empty")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"mtcache/internal/resilience"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
+	"mtcache/internal/trace"
 	"mtcache/internal/types"
 )
 
@@ -59,6 +60,12 @@ type request struct {
 	SubID  int
 	Max    int
 	AckLSN storage.LSN
+
+	// TraceID joins the server-side execution to the caller's trace (""
+	// disables tracing). Appended after the original fields: gob zero-values
+	// it when absent from an older client's stream and older servers skip it,
+	// so both directions stay compatible.
+	TraceID string
 }
 
 // response is one server->client frame.
@@ -73,6 +80,11 @@ type response struct {
 	SubID    int
 	StartLSN storage.LSN
 	Batches  []repl.TxnBatch
+
+	// Span carries the server-side span tree for traced Query/Exec requests
+	// (nil otherwise). Same append-only compatibility rules as
+	// request.TraceID.
+	Span *trace.WireSpan
 }
 
 // Server exposes a backend over TCP.
@@ -162,6 +174,18 @@ func (s *Server) handle(req *request) *response {
 	resp := &response{}
 	switch req.Kind {
 	case reqQuery, reqExec:
+		if req.TraceID != "" {
+			res, tr, err := s.backend.DB.ExecTraced(req.SQL, req.Params, req.TraceID)
+			if err != nil {
+				resp.Err = err.Error()
+				return resp
+			}
+			resp.Cols = res.Cols
+			resp.Rows = res.Rows
+			resp.N = res.RowsAffected
+			resp.Span = trace.Export(tr.Root)
+			return resp
+		}
 		res, err := s.backend.DB.Exec(req.SQL, req.Params)
 		if err != nil {
 			resp.Err = err.Error()
@@ -304,6 +328,17 @@ func (c *Client) Query(sqlText string, params exec.Params) (*exec.ResultSet, err
 		return nil, err
 	}
 	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// QueryTraced implements exec.SpanQuerier: the query executes under the
+// caller's trace ID on the backend, and the backend-side span tree comes back
+// with the rows.
+func (c *Client) QueryTraced(sqlText string, params exec.Params, traceID string) (*exec.ResultSet, *trace.WireSpan, error) {
+	resp, err := c.roundTrip(&request{Kind: reqQuery, SQL: sqlText, Params: params, TraceID: traceID})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, resp.Span, nil
 }
 
 // Exec implements exec.RemoteClient.
