@@ -6,9 +6,11 @@
 //
 //	mtbench -experiment all
 //	mtbench -experiment scaleout -servers 5 -items 1000 -customers 2880
+//	mtbench -experiment throughput -clients 16 -bench-json BENCH_multiplex.json
 //
 // Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// all ("all" excludes chaos; run it explicitly).
+// throughput, all ("all" excludes chaos and throughput; run them
+// explicitly).
 package main
 
 import (
@@ -26,12 +28,17 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
 		reps        = flag.Int("reps", 10, "calibration repetitions per interaction")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics-registry snapshot (counters, gauges, histogram quantiles) to this file as JSON")
+		clients     = flag.Int("clients", 16, "throughput: concurrent client workers")
+		poolSize    = flag.Int("pool", 4, "throughput: multiplexed connections in the pool")
+		netDelay    = flag.Duration("net-delay", 2*time.Millisecond, "throughput: emulated link latency per forwarded chunk")
+		benchDur    = flag.Duration("bench-duration", 3*time.Second, "throughput: measurement window per mode")
+		benchJSON   = flag.String("bench-json", "", "throughput: write the result snapshot to this file as JSON")
 	)
 	flag.Parse()
 	defer writeMetricsJSON(*metricsJSON)
@@ -46,6 +53,10 @@ func main() {
 	}
 	if *experiment == "chaos" {
 		printChaos(0.10, 5*time.Millisecond, 500)
+		return
+	}
+	if *experiment == "throughput" {
+		printThroughput(*clients, *poolSize, *netDelay, *benchDur, *benchJSON)
 		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}

@@ -46,6 +46,7 @@ func main() {
 		pull        = flag.Duration("pull", 200*time.Millisecond, "pull-subscription poll interval")
 		retries     = flag.Int("retries", 0, "max attempts per backend request (0 = default policy)")
 		timeout     = flag.Duration("timeout", 0, "per-request deadline (0 = default policy)")
+		pool        = flag.Int("pool", 0, "multiplexed backend connections in the pool (0 = default policy)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *timeout > 0 {
 		policy.RequestTimeout = *timeout
+	}
+	if *pool > 0 {
+		policy.PoolSize = *pool
 	}
 	client, err := mtcache.DialBackendResilient(*backendAddr, policy)
 	if err != nil {

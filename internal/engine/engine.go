@@ -362,7 +362,7 @@ func (db *Database) runPlanSpan(plan *opt.Plan, params exec.Params, span *trace.
 	res := &Result{}
 	ctx := &exec.Ctx{
 		Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
-		Span: esp, TraceID: esp.TraceID(),
+		Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card,
 	}
 	rs, err := exec.Run(exec.CloneOperator(plan.Root), ctx)
 	esp.End()
@@ -421,7 +421,7 @@ func (db *Database) execExplain(x *sql.ExplainStmt, params exec.Params, span *tr
 		tx := db.store.Begin(false)
 		ctx := &exec.Ctx{
 			Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
-			Span: esp, TraceID: esp.TraceID(),
+			Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card,
 		}
 		start := time.Now()
 		_, runErr := exec.Run(root, ctx)

@@ -128,7 +128,7 @@ func (db *Database) CallProcedure(name string, params exec.Params) (*Result, err
 					tx.Abort()
 					return nil, err
 				}
-				rs, err := exec.Run(exec.CloneOperator(plan.Root), &exec.Ctx{Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters})
+				rs, err := exec.Run(exec.CloneOperator(plan.Root), &exec.Ctx{Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters, EstRows: plan.Card})
 				if err != nil {
 					tx.Abort()
 					return nil, err

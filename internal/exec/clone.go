@@ -31,7 +31,7 @@ func CloneOperator(op Operator) Operator {
 		return &HashJoin{
 			Left: CloneOperator(x.Left), Right: CloneOperator(x.Right),
 			LeftKeys: x.LeftKeys, RightKeys: x.RightKeys,
-			LeftOuter: x.LeftOuter, Residual: x.Residual,
+			LeftOuter: x.LeftOuter, Residual: x.Residual, BuildEst: x.BuildEst,
 		}
 	case *NestedLoop:
 		return &NestedLoop{

@@ -56,6 +56,24 @@ type Ctx struct {
 	Counters *Counters
 	Span     *trace.Span // execute-stage span, nil when tracing is off
 	TraceID  string      // propagated to the backend on DataTransfer
+	EstRows  float64     // optimizer output-cardinality estimate, 0 if unknown
+}
+
+// maxPrealloc caps estimate-driven allocations: estimates can be off by
+// orders of magnitude, and a bad one must cost at most a bounded overshoot.
+const maxPrealloc = 4096
+
+// preallocSize converts a cardinality estimate into a slice/map capacity
+// hint, clamped to [0, limit].
+func preallocSize(est float64, limit int) int {
+	if est <= 0 {
+		return 0
+	}
+	n := int(est)
+	if n > limit {
+		return limit
+	}
+	return n
 }
 
 // Operator is a Volcano iterator.
@@ -73,6 +91,9 @@ func Run(op Operator, ctx *Ctx) (*ResultSet, error) {
 	}
 	defer op.Close()
 	rs := &ResultSet{Cols: op.Columns()}
+	if n := preallocSize(ctx.EstRows, maxPrealloc); n > 0 {
+		rs.Rows = make([]types.Row, 0, n)
+	}
 	for {
 		row, err := op.Next(ctx)
 		if err != nil {
@@ -452,6 +473,7 @@ type HashJoin struct {
 	LeftKeys, RightKeys []Expr
 	LeftOuter           bool // LEFT JOIN: unmatched left rows padded with NULLs
 	Residual            Expr
+	BuildEst            float64 // optimizer estimate of build-side rows, 0 if unknown
 
 	table   map[uint64][]types.Row
 	pending []types.Row
@@ -469,7 +491,7 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
-	j.table = make(map[uint64][]types.Row)
+	j.table = make(map[uint64][]types.Row, preallocSize(j.BuildEst, 1<<16))
 	for {
 		row, err := j.Right.Next(ctx)
 		if err != nil {

@@ -185,6 +185,10 @@ func NewRegistry() *Registry {
 //	wire.backend_down       requests that exhausted every attempt
 //	wire.pull_failures      pull rounds that failed for a subscription
 //	wire.pull_redelivered   pulled batches skipped as already applied
+//	wire.inflight           gauge: client requests awaiting a response
+//	wire.server_inflight    gauge: requests being handled by the server
+//	wire.pool_open          gauge: open pooled connections
+//	wire.pool_wait_seconds  histogram: time to produce a pooled connection
 //	engine.degraded_stale   queries answered from local stale data after a
 //	                        backend failure
 var Default = NewRegistry()
@@ -320,6 +324,14 @@ type Gauge struct {
 func (g *Gauge) Set(v float64) {
 	g.mu.Lock()
 	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the value by delta (negative deltas decrement). In-flight
+// gauges pair Add(1)/Add(-1) around each tracked operation.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
 	g.mu.Unlock()
 }
 

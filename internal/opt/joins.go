@@ -438,7 +438,7 @@ func (pl *planner) localJoin(a, b *plan, eqs []eqPred, residual []sql.Expr) (*pl
 				return nil, err
 			}
 		}
-		op = &exec.HashJoin{Left: am.op, Right: bm.op, LeftKeys: lk, RightKeys: rk, Residual: res}
+		op = &exec.HashJoin{Left: am.op, Right: bm.op, LeftKeys: lk, RightKeys: rk, Residual: res, BuildEst: bm.card}
 		cost = am.cost + bm.cost + bm.card*costHashBuild + am.card*costHashProbe + card*costJoinOutRow
 	} else {
 		var pred exec.Expr
@@ -639,7 +639,7 @@ func (pl *planner) leftJoinPlans(a, b *plan, onConjs []sql.Expr) (*plan, error) 
 				return nil, err
 			}
 		}
-		op = &exec.HashJoin{Left: am.op, Right: bm.op, LeftKeys: lk, RightKeys: rk, LeftOuter: true, Residual: res}
+		op = &exec.HashJoin{Left: am.op, Right: bm.op, LeftKeys: lk, RightKeys: rk, LeftOuter: true, Residual: res, BuildEst: bm.card}
 		cost = am.cost + bm.cost + bm.card*costHashBuild + am.card*costHashProbe + card*costJoinOutRow
 	} else {
 		var pred exec.Expr

@@ -102,10 +102,18 @@ type Policy struct {
 	// RequestTimeout is the per-round-trip I/O deadline. Zero disables
 	// deadlines (not recommended: a stalled backend then hangs the caller).
 	RequestTimeout time.Duration
+
+	// PoolSize is the number of multiplexed connections the client keeps to
+	// the backend. Each connection carries any number of concurrent
+	// requests, so the pool exists for parallel serialization and failure
+	// isolation, not per-request checkout; a handful of connections is
+	// plenty. <= 0 selects the default (4).
+	PoolSize int
 }
 
 // DefaultPolicy returns a policy suited to LAN backends: 4 attempts,
-// 10ms..500ms exponential backoff with 25% jitter, 2s request deadline.
+// 10ms..500ms exponential backoff with 25% jitter, 2s request deadline,
+// 4 pooled connections.
 func DefaultPolicy() Policy {
 	return Policy{
 		MaxAttempts:    4,
@@ -114,6 +122,7 @@ func DefaultPolicy() Policy {
 		Multiplier:     2,
 		Jitter:         0.25,
 		RequestTimeout: 2 * time.Second,
+		PoolSize:       4,
 	}
 }
 

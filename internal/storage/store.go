@@ -67,9 +67,14 @@ func (s *Store) AddIndex(table string, idx *catalog.Index) error {
 	return nil
 }
 
-// Table returns the storage for a table, or nil. The caller must hold a
-// transaction (read or write) spanning all access to the returned data.
+// Table returns the storage for a table, or nil. It takes the store's read
+// lock for the map lookup (callers such as DDL existence checks hold no
+// transaction, and must not race with concurrent CreateTable/DropTable).
+// Access to the returned data still requires a transaction spanning it; use
+// Txn.Table inside a transaction — the held lock already covers the lookup.
 func (s *Store) Table(name string) *TableData {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.tables[keyName(name)]
 }
 

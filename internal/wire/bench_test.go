@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/types"
+)
+
+// BenchmarkWireRoundTrip measures single-request latency on one connection:
+// a PK lookup sent and awaited serially. This is the v1-equivalent baseline
+// — one request in flight at a time.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	_, srv := newWiredBackend(b)
+	c := dial(b, srv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(1 + i%1000)
+		rs, err := c.Query("SELECT name FROM part WHERE id = @id",
+			exec.Params{"id": types.NewInt(id)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != 1 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkWireMuxConcurrent measures throughput with many requests
+// multiplexed on a single connection: GOMAXPROCS goroutines issue PK
+// lookups concurrently, sharing one TCP stream.
+func BenchmarkWireMuxConcurrent(b *testing.B) {
+	_, srv := newWiredBackend(b)
+	c := dial(b, srv)
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := 1 + seq.Add(1)%1000
+			rs, err := c.Query("SELECT name FROM part WHERE id = @id",
+				exec.Params{"id": types.NewInt(id)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 1 {
+				b.Fatal("wrong row count")
+			}
+		}
+	})
+}
+
+// BenchmarkWirePooledConcurrent measures throughput through the full
+// production stack — ResilientClient over a 4-connection multiplexed pool —
+// under parallel load.
+func BenchmarkWirePooledConcurrent(b *testing.B) {
+	_, srv := newWiredBackend(b)
+	policy := quickPolicy()
+	policy.PoolSize = 4
+	rc, err := DialResilient(srv.Addr(), policy, metrics.NewRegistry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rc.Close()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := 1 + seq.Add(1)%1000
+			rs, err := rc.Query("SELECT name FROM part WHERE id = @id",
+				exec.Params{"id": types.NewInt(id)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs.Rows) != 1 {
+				b.Fatal("wrong row count")
+			}
+		}
+	})
+}
+
+// BenchmarkPoolGet measures the pool's hot path: handing out an already-open
+// multiplexed connection.
+func BenchmarkPoolGet(b *testing.B) {
+	_, srv := newWiredBackend(b)
+	p := NewPool(srv.Addr(), 4, time.Second, metrics.NewRegistry())
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := p.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -290,3 +290,89 @@ func TestChaosNoGoroutineLeaks(t *testing.T) {
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after teardown", before, runtime.NumGoroutine())
 }
+
+// TestChaosMuxPartitionFailsInFlight is the multiplexed-failure contract:
+// with several requests in flight on pooled multiplexed connections, a
+// partition must fail exactly those requests — each with a classified
+// transport error (degradable, never a *ServerError) — the pool must
+// recover after the partition heals, and nothing may leak.
+func TestChaosMuxPartitionFailsInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		// One attempt: every transport failure surfaces instead of being
+		// retried away, so the test sees the raw in-flight failures.
+		policy := chaosPolicy()
+		policy.MaxAttempts = 1
+		policy.PoolSize = 2
+		rig := newChaosRig(t, policy)
+
+		// Slow every chunk so the batch of remote queries is reliably still
+		// in flight when the partition hits.
+		rig.proxy.SetFaults(FaultConfig{Delay: 200 * time.Millisecond})
+
+		const inFlight = 8
+		var wg sync.WaitGroup
+		failures := make(chan error, inFlight)
+		for q := 0; q < inFlight; q++ {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				// qty is indexed only on the backend, so the query plans
+				// remote; the strict freshness bound forbids degrading onto
+				// the cached view, so a cut connection must surface as an
+				// error rather than a silent stale answer.
+				_, err := rig.cache.DB.Exec(
+					"SELECT name FROM part WHERE qty = @q WITH FRESHNESS 0.000001",
+					exec.Params{"q": types.NewInt(int64(q + 1))})
+				failures <- err
+			}(q)
+		}
+		time.Sleep(60 * time.Millisecond) // let the requests reach the wire
+		rig.proxy.Partition()
+		wg.Wait()
+		close(failures)
+
+		failed := 0
+		for err := range failures {
+			if err == nil {
+				// A request that cleared the proxy before the partition is
+				// fine — the contract is about the ones that were cut off.
+				continue
+			}
+			failed++
+			if !resilience.Degradable(err) {
+				t.Errorf("in-flight failure not classified as transport error: %v", err)
+			}
+			var se *ServerError
+			if errors.As(err, &se) {
+				t.Errorf("in-flight failure surfaced as a server error: %v", err)
+			}
+		}
+		if failed == 0 {
+			t.Error("partition during in-flight requests produced no failures; the contract was not exercised")
+		}
+
+		// Heal: the pool re-dials lazily and the very next queries succeed.
+		rig.proxy.Heal()
+		for q := 0; q < 4; q++ {
+			if _, err := rig.cache.DB.Exec("SELECT name FROM part WHERE qty = @q",
+				exec.Params{"q": types.NewInt(int64(q + 100))}); err != nil {
+				t.Fatalf("query after heal: %v", err)
+			}
+		}
+		if rig.client.Pool().Open() == 0 {
+			t.Error("pool should hold live connections after heal")
+		}
+		rig.close()
+	}()
+
+	// Every reader, handler and proxy pump must be gone after teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after teardown", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/repl"
+	"mtcache/internal/resilience"
+	"mtcache/internal/storage"
+	"mtcache/internal/trace"
+	"mtcache/internal/types"
+)
+
+// Client is a multiplexed TCP connection to a backend server: any number of
+// requests may be in flight concurrently on the one connection, matched to
+// their responses by correlation ID. A single reader goroutine demultiplexes
+// the response stream; senders interleave whole frames under a write lock.
+// Client implements exec.RemoteClient, so an engine.Database can use it
+// directly as its backend link.
+//
+// Against a v1 server (one that never echoes correlation IDs) the client
+// falls back to matching responses to requests in send order, which is
+// correct because such a server reads, handles and answers strictly one
+// request at a time per connection.
+//
+// Client itself fails hard on the first transport error — the error fails
+// every request in flight on the connection, and the Client is then dead
+// (Broken reports true). Wrap it in a ResilientClient (DialResilient) for
+// pooling, retry, backoff and re-dial.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	wmu sync.Mutex // serializes frame writes; guards enc
+	enc *gob.Encoder
+
+	mu           sync.Mutex
+	pending      map[uint64]chan *response
+	fifo         []uint64 // issue order, for ID-less responses from v1 servers
+	nextID       uint64
+	idsConfirmed bool  // a response carried a matching ID: peer is v2
+	err          error // terminal transport error; non-nil = dead client
+
+	readerWG sync.WaitGroup
+}
+
+// Dial connects to a wire server. timeout bounds the connection attempt and
+// every subsequent round trip (send deadline plus a response timer per
+// request); zero disables deadlines.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, resilience.Classify(err)
+	}
+	c := &Client{
+		conn:    conn,
+		timeout: timeout,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan *response),
+	}
+	c.readerWG.Add(1)
+	go c.readLoop(gob.NewDecoder(conn))
+	return c, nil
+}
+
+// Close closes the connection, failing any requests still in flight, and
+// waits for the reader goroutine to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = resilience.Classify(fmt.Errorf("wire: client closed: %w", net.ErrClosed))
+	}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.readerWG.Wait()
+	return err
+}
+
+// Broken reports whether the connection has hit a terminal transport error
+// (or was closed). A broken client fails every request immediately; the
+// pool uses this to decide when a slot needs a re-dial.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// readLoop is the demultiplexer: the single goroutine that reads response
+// frames and routes each to the round trip waiting on it. A decode error is
+// terminal for the whole connection — every in-flight request fails with
+// the classified error.
+func (c *Client) readLoop(dec *gob.Decoder) {
+	defer c.readerWG.Done()
+	for {
+		resp := new(response)
+		if err := dec.Decode(resp); err != nil {
+			c.failAll(resilience.Classify(fmt.Errorf("wire: recv: %w", err)))
+			return
+		}
+		c.deliver(resp)
+	}
+}
+
+// deliver routes one response to its waiter. Responses carrying an ID match
+// by ID (v2 server, possibly out of order); ID-less responses come from a
+// v1 server that answers strictly in arrival order, so they match the
+// oldest outstanding request. Responses whose request was abandoned after a
+// timeout match nothing and are dropped.
+func (c *Client) deliver(resp *response) {
+	c.mu.Lock()
+	var ch chan *response
+	if resp.ID != 0 {
+		c.idsConfirmed = true
+		if ch = c.pending[resp.ID]; ch != nil {
+			delete(c.pending, resp.ID)
+			c.dropFIFOLocked(resp.ID)
+		}
+	} else if len(c.fifo) > 0 {
+		id := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		ch = c.pending[id]
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- resp // buffered: never blocks the reader
+	}
+}
+
+// failAll marks the client dead and fails every pending request.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan *response)
+	c.fifo = nil
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- nil // nil response = look up the terminal error
+	}
+}
+
+// dropFIFOLocked removes id from the send-order queue. Caller holds c.mu.
+func (c *Client) dropFIFOLocked(id uint64) {
+	for i, v := range c.fifo {
+		if v == id {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			return
+		}
+	}
+}
+
+// abandon gives up on a request whose response timer expired. Against a v2
+// server the connection stays usable — the late response is dropped on
+// arrival by ID. Against a peer not yet proven to echo IDs the
+// request/response correspondence is lost (FIFO matching would mis-pair
+// every later response), so the connection is severed; the reader then
+// fails the remaining in-flight requests.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	_, wasPending := c.pending[id]
+	delete(c.pending, id)
+	c.dropFIFOLocked(id)
+	fifoMode := !c.idsConfirmed
+	c.mu.Unlock()
+	if wasPending && fifoMode {
+		c.conn.Close()
+	}
+}
+
+// roundTrip sends one request and waits for its response, with any number
+// of other round trips in flight on the same connection. The client's
+// timeout bounds the send (write deadline) and the wait (timer): a stalled
+// backend fails the request with ErrTimeout instead of hanging the caller,
+// without disturbing other in-flight requests. Transport errors are
+// classified (ErrTimeout / ErrBackendDown); server-reported errors come
+// back as *ServerError and are never retryable.
+func (c *Client) roundTrip(req *request) (*response, error) {
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	req.ID = id
+	c.pending[id] = ch
+	c.fifo = append(c.fifo, id)
+	c.mu.Unlock()
+	inflight := metrics.Default.Gauge("wire.inflight")
+	inflight.Add(1)
+	defer inflight.Add(-1)
+
+	c.wmu.Lock()
+	if c.timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		// A failed or partial send corrupts the gob stream; every request
+		// multiplexed on this connection is lost with it.
+		cerr := resilience.Classify(fmt.Errorf("wire: send: %w", err))
+		c.failAll(cerr)
+		c.conn.Close()
+		return nil, cerr
+	}
+
+	var timeoutC <-chan time.Time
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		if resp.Err != "" {
+			return nil, &ServerError{Msg: resp.Err}
+		}
+		return resp, nil
+	case <-timeoutC:
+		c.abandon(id)
+		return nil, fmt.Errorf("wire: no response within %v: %w", c.timeout, resilience.ErrTimeout)
+	}
+}
+
+// Query implements exec.RemoteClient.
+func (c *Client) Query(sqlText string, params exec.Params) (*exec.ResultSet, error) {
+	resp, err := c.roundTrip(&request{Kind: reqQuery, SQL: sqlText, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// QueryTraced implements exec.SpanQuerier: the query executes under the
+// caller's trace ID on the backend, and the backend-side span tree comes back
+// with the rows.
+func (c *Client) QueryTraced(sqlText string, params exec.Params, traceID string) (*exec.ResultSet, *trace.WireSpan, error) {
+	resp, err := c.roundTrip(&request{Kind: reqQuery, SQL: sqlText, Params: params, TraceID: traceID})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, resp.Span, nil
+}
+
+// Exec implements exec.RemoteClient.
+func (c *Client) Exec(sqlText string, params exec.Params) (int64, error) {
+	resp, err := c.roundTrip(&request{Kind: reqExec, SQL: sqlText, Params: params})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Snapshot fetches the backend catalog snapshot.
+func (c *Client) Snapshot() ([]byte, error) {
+	resp, err := c.roundTrip(&request{Kind: reqSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snapshot, nil
+}
+
+// Provision creates an article + pull subscription on the backend and
+// returns the subscription id, the LSN the change stream starts from, and
+// the initial population. Provisioning the same subscription name again
+// resets it, so a retried provision leaves no orphan subscription.
+func (c *Client) Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error) {
+	resp, err := c.roundTrip(&request{
+		Kind: reqProvision, Table: table, Columns: columns, Filter: filter, SubName: subName,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return resp.SubID, resp.StartLSN, resp.Rows, nil
+}
+
+// Pull returns up to max pending transactions for a subscription, first
+// acknowledging (deleting) every batch at or below ack. Returned batches
+// stay queued on the backend until a later Pull acknowledges them, so a
+// response lost in transit is simply re-delivered.
+func (c *Client) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
+	resp, err := c.roundTrip(&request{Kind: reqPull, SubID: subID, Max: max, AckLSN: ack})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batches, nil
+}

@@ -35,8 +35,12 @@ func FuzzFrameDecode(f *testing.F) {
 	encode(&request{Kind: reqProvision, Table: "part", Columns: []string{"id", "name"},
 		Filter: "(part.qty > 10)", SubName: "cache1.cv_part"})
 	encode(&request{Kind: reqPull, SubID: 3, Max: 100, AckLSN: 42})
+	// v2 frames: correlation IDs for multiplexed connections.
+	encode(&request{Kind: reqQuery, SQL: "SELECT COUNT(*) FROM part", ID: 7})
+	encode(&request{Kind: reqExec, SQL: "UPDATE part SET qty = 1", TraceID: "t-1", ID: 1 << 40})
 	encode(&response{Cols: nil, Rows: []types.Row{{types.NewInt(1), types.NewString("x")}}, N: 1})
 	encode(&response{Err: "wire: server: boom"})
+	encode(&response{N: 1, ID: 7})
 	encode(&response{SubID: 1, StartLSN: 7, Batches: []repl.TxnBatch{
 		{LSN: 7, CommitTime: time.Unix(0, 0), Changes: []storage.ChangeRec{
 			{Table: "part", Op: storage.OpInsert, After: types.Row{types.NewInt(1)}},

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mtcache/internal/metrics"
+	"mtcache/internal/resilience"
+)
+
+// Pool is a sized set of multiplexed client connections to one backend
+// address. Because each connection is itself multiplexed, Get never checks
+// a connection out — it hands back a shared *Client round-robin, dialing
+// slots lazily on first use and re-dialing slots whose connection broke.
+// The pool therefore spreads concurrent load over up to size TCP
+// connections while any single slow dial or dead slot costs only the
+// requests routed to it.
+//
+// Metrics (on the registry passed to NewPool):
+//
+//	wire.pool_open          gauge: currently open pooled connections
+//	wire.pool_wait_seconds  histogram: time Get spent producing a connection
+//	                        (≈0 on the hot path, dial time on a cold slot)
+//	wire.dial_failures      counter: failed dials
+//	wire.reconnects         counter: re-dials of a slot that had a live
+//	                        connection before
+type Pool struct {
+	addr    string
+	size    int
+	timeout time.Duration
+	reg     *metrics.Registry
+
+	mu     sync.Mutex
+	slots  []*Client
+	dialed []bool // slot ever held a connection (distinguishes re-dials)
+	next   int
+	closed bool
+}
+
+// NewPool creates a pool of up to size connections to addr. No connection
+// is dialed until the first Get. size < 1 is clamped to 1; reg may be nil
+// to use metrics.Default. timeout is passed through to each Dial and bounds
+// every round trip on the pooled connections.
+func NewPool(addr string, size int, timeout time.Duration, reg *metrics.Registry) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	if reg == nil {
+		reg = metrics.Default
+	}
+	return &Pool{
+		addr:    addr,
+		size:    size,
+		timeout: timeout,
+		reg:     reg,
+		slots:   make([]*Client, size),
+		dialed:  make([]bool, size),
+	}
+}
+
+// Size returns the pool's slot count.
+func (p *Pool) Size() int { return p.size }
+
+// Open returns the number of currently live pooled connections.
+func (p *Pool) Open() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.openLocked()
+}
+
+func (p *Pool) openLocked() int {
+	n := 0
+	for _, c := range p.slots {
+		if c != nil && !c.Broken() {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the next connection round-robin, dialing the slot if it is
+// empty or its connection broke. Dialing happens under the pool lock: a
+// slow dial briefly delays other Gets, bounded by the dial timeout —
+// acceptable because a dial only happens when a slot is cold or the backend
+// just dropped a connection, exactly when callers are about to retry
+// anyway.
+func (p *Pool) Get() (*Client, error) {
+	start := time.Now()
+	defer func() {
+		p.reg.Histogram("wire.pool_wait_seconds").ObserveDuration(time.Since(start))
+	}()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, resilience.Terminal(fmt.Errorf("wire: pool closed: %w", resilience.ErrBackendDown))
+	}
+	slot := p.next
+	p.next = (p.next + 1) % p.size
+	if c := p.slots[slot]; c != nil {
+		if !c.Broken() {
+			return c, nil
+		}
+		c.Close()
+		p.slots[slot] = nil
+		p.publishOpenLocked()
+	}
+	c, err := Dial(p.addr, p.timeout)
+	if err != nil {
+		p.reg.Counter("wire.dial_failures").Add(1)
+		return nil, err
+	}
+	if p.dialed[slot] {
+		p.reg.Counter("wire.reconnects").Add(1)
+	}
+	p.dialed[slot] = true
+	p.slots[slot] = c
+	p.publishOpenLocked()
+	return c, nil
+}
+
+// Invalidate drops a broken connection from its slot so the next Get
+// re-dials it. Requests still in flight on the connection fail with the
+// connection; callers on other pooled connections are untouched.
+func (p *Pool) Invalidate(c *Client) {
+	p.mu.Lock()
+	for i, s := range p.slots {
+		if s == c {
+			p.slots[i] = nil
+			break
+		}
+	}
+	p.publishOpenLocked()
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Close closes every pooled connection and refuses further Gets.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]*Client, 0, len(p.slots))
+	for i, c := range p.slots {
+		if c != nil {
+			conns = append(conns, c)
+			p.slots[i] = nil
+		}
+	}
+	p.publishOpenLocked()
+	p.mu.Unlock()
+	var first error
+	for _, c := range conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (p *Pool) publishOpenLocked() {
+	p.reg.Gauge("wire.pool_open").Set(float64(p.openLocked()))
+}

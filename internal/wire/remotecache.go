@@ -30,6 +30,12 @@ type RemoteCache struct {
 	client BackendClient
 	reg    *metrics.Registry
 
+	// pullMu serializes whole pull-and-apply rounds. With a multiplexed
+	// transport a manual Pull can genuinely overlap the background agent's
+	// round; overlapping rounds would read the same lastLSN and apply the
+	// same batch twice.
+	pullMu sync.Mutex
+
 	mu     sync.Mutex
 	pulls  []pullSub
 	stopCh chan struct{}
@@ -146,6 +152,8 @@ func (rc *RemoteCache) CopyProcedureText(text string) error {
 // next round — and the remaining subscriptions still pull. The first error
 // encountered is returned alongside the applied count.
 func (rc *RemoteCache) Pull() (int, error) {
+	rc.pullMu.Lock()
+	defer rc.pullMu.Unlock()
 	rc.mu.Lock()
 	pulls := append([]pullSub(nil), rc.pulls...)
 	rc.mu.Unlock()

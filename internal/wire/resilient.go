@@ -31,30 +31,36 @@ var (
 )
 
 // ResilientClient wraps the wire protocol with per-request deadlines,
-// bounded exponential backoff with jitter, and automatic re-dial on broken
-// connections. It is the cache's production backend link: a dropped TCP
-// frame costs a retry, not a query.
+// bounded exponential backoff with jitter, a sized connection pool, and
+// automatic re-dial of broken pooled connections. It is the cache's
+// production backend link: a dropped TCP frame costs a retry, not a query.
+//
+// Pooling composes with multiplexing: each pooled connection carries any
+// number of concurrent requests, requests spread round-robin over the pool,
+// and a connection dying mid-flight fails only the requests on it — the
+// idempotent ones retry on the next pooled connection (re-dialed lazily)
+// under the same policy as before.
 //
 // Retry rules follow idempotency: Query, Snapshot, Provision and Pull are
 // idempotent (Provision resets by name; Pull re-delivers until acked) and
 // retry on any transport failure. Exec forwards DML, which may have executed
 // on the backend even though the response was lost — it retries only while
-// no connection existed (connect phase) and turns terminal the moment a
-// request may have reached the backend.
+// no connection could be produced (connect phase) and turns terminal the
+// moment a request may have reached the backend.
 type ResilientClient struct {
 	addr   string
 	policy resilience.Policy
 	reg    *metrics.Registry
+	pool   *Pool
 
-	mu        sync.Mutex
-	cl        *Client
-	connected bool // a connection has existed at least once
-	closed    bool
+	mu     sync.Mutex
+	closed bool
 }
 
 // DialResilient connects to a wire server with the given retry policy. The
-// initial dial is itself retried under the policy. reg may be nil to use
-// metrics.Default.
+// first pooled connection is dialed eagerly (retried under the policy) so a
+// dead address fails fast; the rest of the pool fills lazily under load.
+// reg may be nil to use metrics.Default.
 func DialResilient(addr string, policy resilience.Policy, reg *metrics.Registry) (*ResilientClient, error) {
 	if reg == nil {
 		reg = metrics.Default
@@ -62,12 +68,22 @@ func DialResilient(addr string, policy resilience.Policy, reg *metrics.Registry)
 	if policy.MaxAttempts < 1 {
 		policy.MaxAttempts = 1
 	}
-	r := &ResilientClient{addr: addr, policy: policy, reg: reg}
+	size := policy.PoolSize
+	if size < 1 {
+		size = 1
+	}
+	r := &ResilientClient{
+		addr:   addr,
+		policy: policy,
+		reg:    reg,
+		pool:   NewPool(addr, size, policy.RequestTimeout, reg),
+	}
 	err := resilience.Do(policy, func(int) error {
 		_, err := r.conn()
 		return err
 	})
 	if err != nil {
+		r.pool.Close()
 		return nil, err
 	}
 	return r, nil
@@ -76,55 +92,34 @@ func DialResilient(addr string, policy resilience.Policy, reg *metrics.Registry)
 // Addr returns the backend address the client (re-)dials.
 func (r *ResilientClient) Addr() string { return r.addr }
 
-// Close closes the current connection and stops further re-dials.
+// Pool exposes the connection pool (observability and tests).
+func (r *ResilientClient) Pool() *Pool { return r.pool }
+
+// Close closes every pooled connection and stops further re-dials.
 func (r *ResilientClient) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.closed = true
-	if r.cl != nil {
-		err := r.cl.Close()
-		r.cl = nil
-		return err
-	}
-	return nil
+	r.mu.Unlock()
+	return r.pool.Close()
 }
 
-// conn returns the live connection, dialing a new one if needed.
+// conn produces a live connection from the pool, which dials lazily.
 func (r *ResilientClient) conn() (*Client, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
 		return nil, resilience.Terminal(fmt.Errorf("wire: client closed: %w", resilience.ErrBackendDown))
 	}
-	if r.cl != nil {
-		return r.cl, nil
-	}
-	c, err := Dial(r.addr, r.policy.RequestTimeout)
-	if err != nil {
-		r.reg.Counter("wire.dial_failures").Add(1)
-		return nil, err
-	}
-	if r.connected {
-		r.reg.Counter("wire.reconnects").Add(1)
-	}
-	r.connected = true
-	r.cl = c
-	return c, nil
-}
-
-// invalidate drops a broken connection so the next attempt re-dials.
-func (r *ResilientClient) invalidate(c *Client) {
-	r.mu.Lock()
-	if r.cl == c {
-		r.cl = nil
-	}
-	r.mu.Unlock()
-	c.Close()
+	return r.pool.Get()
 }
 
 // do runs one request under the retry policy. Connect-phase failures retry
 // for every request kind; post-connect transport failures retry only for
-// idempotent requests. Server-reported errors are terminal.
+// idempotent requests. Server-reported errors are terminal. A request
+// failure only evicts its connection from the pool when the connection
+// itself broke — a timed-out request on a live multiplexed connection
+// leaves the other in-flight requests on it undisturbed.
 func (r *ResilientClient) do(idempotent bool, fn func(c *Client) error) error {
 	var last error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
@@ -151,7 +146,9 @@ func (r *ResilientClient) do(idempotent bool, fn func(c *Client) error) error {
 		if errors.Is(err, resilience.ErrTimeout) {
 			r.reg.Counter("wire.timeouts").Add(1)
 		}
-		r.invalidate(c)
+		if c.Broken() {
+			r.pool.Invalidate(c)
+		}
 		if !idempotent {
 			// The request may have executed on the backend; retrying could
 			// apply it twice. Surface the transport failure as terminal.

@@ -9,6 +9,18 @@
 //     article+subscription for a cached view, receives the initial
 //     population, and then periodically pulls committed transactions.
 //
+// Protocol v2 multiplexes one connection: every request carries a
+// correlation ID (an append-only gob field, like request.TraceID) that the
+// server echoes on the response, so many requests can be in flight
+// concurrently and responses may return out of order. The server handles
+// each request in its own goroutine, bounded by a server-wide semaphore;
+// responses are serialized onto the connection under a per-connection write
+// lock. v1 peers interoperate: a v1 client sends no ID (gob omits
+// zero-valued fields) and runs strictly one request at a time, so the
+// concurrent server needs no ordering for it; a v1 server echoes no ID and
+// answers in arrival order, which the v2 client detects and falls back to
+// FIFO matching (see Client.deliver).
+//
 // The in-process transport (engine.Link) and this TCP transport implement
 // the same exec.RemoteClient interface; a cache cannot tell them apart.
 package wire
@@ -18,12 +30,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 
 	"mtcache/internal/core"
 	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
 	"mtcache/internal/repl"
-	"mtcache/internal/resilience"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
 	"mtcache/internal/trace"
@@ -66,6 +77,13 @@ type request struct {
 	// it when absent from an older client's stream and older servers skip it,
 	// so both directions stay compatible.
 	TraceID string
+
+	// ID correlates the response with this request on a multiplexed
+	// connection (protocol v2). IDs start at 1; 0 is reserved for v1 peers
+	// that predate multiplexing (gob omits the zero value, so a v1 server
+	// sees exactly the frame it always saw). Same append-only compatibility
+	// rules as TraceID.
+	ID uint64
 }
 
 // response is one server->client frame.
@@ -85,12 +103,31 @@ type response struct {
 	// (nil otherwise). Same append-only compatibility rules as
 	// request.TraceID.
 	Span *trace.WireSpan
+
+	// ID echoes request.ID (0 for requests from v1 clients). Same
+	// append-only compatibility rules as request.TraceID.
+	ID uint64
+}
+
+// DefaultMaxInFlight bounds concurrent request handling per server when
+// ServerOptions leaves MaxInFlight unset.
+const DefaultMaxInFlight = 64
+
+// ServerOptions tunes a wire server.
+type ServerOptions struct {
+	// MaxInFlight bounds the number of requests being handled concurrently
+	// across all connections. When every slot is busy, a connection's read
+	// loop blocks before spawning the next handler — natural backpressure
+	// instead of unbounded goroutine growth. <= 0 selects
+	// DefaultMaxInFlight.
+	MaxInFlight int
 }
 
 // Server exposes a backend over TCP.
 type Server struct {
 	backend *core.BackendServer
 	ln      net.Listener
+	sem     chan struct{} // server-wide handler slots
 
 	mu      sync.Mutex
 	subs    []*repl.Subscription
@@ -99,14 +136,27 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it. The
-// chosen address is available via Addr.
+// Serve starts a server on addr (e.g. "127.0.0.1:0") with default options
+// and returns it. The chosen address is available via Addr.
 func Serve(backend *core.BackendServer, addr string) (*Server, error) {
+	return ServeOpts(backend, addr, ServerOptions{})
+}
+
+// ServeOpts starts a server with explicit options.
+func ServeOpts(backend *core.BackendServer, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{backend: backend, ln: ln, conns: map[net.Conn]bool{}}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Server{
+		backend: backend,
+		ln:      ln,
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		conns:   map[net.Conn]bool{},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -154,19 +204,47 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn demultiplexes one connection: each decoded request is handled
+// in its own goroutine (bounded by the server semaphore) and its response —
+// tagged with the request's correlation ID — is written back under a
+// per-connection write lock, in completion order rather than arrival order.
+// The decode loop exits on the first transport error; in-flight handlers
+// finish (their writes fail harmlessly on the dead connection) before the
+// connection is released.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	inflight := metrics.Default.Gauge("wire.server_inflight")
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req := new(request)
+		if err := dec.Decode(req); err != nil {
 			return
 		}
-		resp := s.handle(&req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		s.sem <- struct{}{}
+		inflight.Add(1)
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			defer func() {
+				inflight.Add(-1)
+				<-s.sem
+			}()
+			resp := s.handle(req)
+			resp.ID = req.ID
+			wmu.Lock()
+			err := enc.Encode(resp)
+			wmu.Unlock()
+			if err != nil {
+				// A failed or partial write corrupts the gob stream for
+				// every multiplexed response after it; sever the connection
+				// so the client fails fast and re-dials.
+				conn.Close()
+			}
+		}()
 	}
 }
 
@@ -267,120 +345,3 @@ func (s *Server) handle(req *request) *response {
 type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "wire: server: " + e.Msg }
-
-// Client is a TCP connection to a backend server. It implements
-// exec.RemoteClient, so an engine.Database can use it directly as its
-// backend link.
-//
-// Client itself fails hard on the first transport error; wrap it in a
-// ResilientClient (DialResilient) for retry, backoff and re-dial.
-type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	timeout time.Duration
-}
-
-// Dial connects to a wire server. timeout bounds the connection attempt and
-// every subsequent round trip (read+write deadline per request); zero
-// disables deadlines.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, resilience.Classify(err)
-	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: timeout}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends one request and reads its response under the client's
-// deadline. A stalled backend therefore fails the request with ErrTimeout
-// instead of hanging the caller forever. Transport errors are classified
-// (ErrTimeout / ErrBackendDown); server-reported errors come back as
-// *ServerError and are never retryable.
-func (c *Client) roundTrip(req *request) (*response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, resilience.Classify(fmt.Errorf("wire: send: %w", err))
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, resilience.Classify(fmt.Errorf("wire: recv: %w", err))
-	}
-	if resp.Err != "" {
-		return nil, &ServerError{Msg: resp.Err}
-	}
-	return &resp, nil
-}
-
-// Query implements exec.RemoteClient.
-func (c *Client) Query(sqlText string, params exec.Params) (*exec.ResultSet, error) {
-	resp, err := c.roundTrip(&request{Kind: reqQuery, SQL: sqlText, Params: params})
-	if err != nil {
-		return nil, err
-	}
-	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, nil
-}
-
-// QueryTraced implements exec.SpanQuerier: the query executes under the
-// caller's trace ID on the backend, and the backend-side span tree comes back
-// with the rows.
-func (c *Client) QueryTraced(sqlText string, params exec.Params, traceID string) (*exec.ResultSet, *trace.WireSpan, error) {
-	resp, err := c.roundTrip(&request{Kind: reqQuery, SQL: sqlText, Params: params, TraceID: traceID})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, resp.Span, nil
-}
-
-// Exec implements exec.RemoteClient.
-func (c *Client) Exec(sqlText string, params exec.Params) (int64, error) {
-	resp, err := c.roundTrip(&request{Kind: reqExec, SQL: sqlText, Params: params})
-	if err != nil {
-		return 0, err
-	}
-	return resp.N, nil
-}
-
-// Snapshot fetches the backend catalog snapshot.
-func (c *Client) Snapshot() ([]byte, error) {
-	resp, err := c.roundTrip(&request{Kind: reqSnapshot})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Snapshot, nil
-}
-
-// Provision creates an article + pull subscription on the backend and
-// returns the subscription id, the LSN the change stream starts from, and
-// the initial population. Provisioning the same subscription name again
-// resets it, so a retried provision leaves no orphan subscription.
-func (c *Client) Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error) {
-	resp, err := c.roundTrip(&request{
-		Kind: reqProvision, Table: table, Columns: columns, Filter: filter, SubName: subName,
-	})
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	return resp.SubID, resp.StartLSN, resp.Rows, nil
-}
-
-// Pull returns up to max pending transactions for a subscription, first
-// acknowledging (deleting) every batch at or below ack. Returned batches
-// stay queued on the backend until a later Pull acknowledges them, so a
-// response lost in transit is simply re-delivered.
-func (c *Client) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
-	resp, err := c.roundTrip(&request{Kind: reqPull, SubID: subID, Max: max, AckLSN: ack})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Batches, nil
-}

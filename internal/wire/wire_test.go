@@ -10,7 +10,7 @@ import (
 	"mtcache/internal/types"
 )
 
-func newWiredBackend(t *testing.T) (*core.BackendServer, *Server) {
+func newWiredBackend(t testing.TB) (*core.BackendServer, *Server) {
 	t.Helper()
 	b := core.NewBackend("backend")
 	err := b.ExecScript(`
@@ -43,7 +43,7 @@ func newWiredBackend(t *testing.T) (*core.BackendServer, *Server) {
 	return b, srv
 }
 
-func dial(t *testing.T, srv *Server) *Client {
+func dial(t testing.TB, srv *Server) *Client {
 	t.Helper()
 	c, err := Dial(srv.Addr(), time.Second)
 	if err != nil {

@@ -116,27 +116,38 @@ func ExplainBackend(b *Backend, query string) (string, error) { return b.DB.Expl
 func ExplainCache(c *Cache, query string) (string, error) { return c.DB.Explain(query) }
 
 // WireServer exposes a backend over TCP (linked-server protocol plus pull
-// subscriptions).
+// subscriptions). Requests are handled concurrently, bounded by
+// WireServerOptions.MaxInFlight.
 type WireServer = wire.Server
 
-// WireClient is a TCP connection to a backend. It fails hard on the first
-// transport error; use DialBackendResilient for fault tolerance.
+// WireServerOptions tunes a WireServer (see ServeBackendOpts).
+type WireServerOptions = wire.ServerOptions
+
+// WireClient is a multiplexed TCP connection to a backend: any number of
+// requests may be in flight concurrently, matched to responses by
+// correlation ID. It fails hard on the first transport error; use
+// DialBackendResilient for pooling and fault tolerance.
 type WireClient = wire.Client
+
+// ConnectionPool is a sized set of multiplexed backend connections
+// (re-dialed lazily when broken); ResilientClient uses one internally.
+type ConnectionPool = wire.Pool
 
 // BackendClient is the client surface a RemoteCache needs — satisfied by
 // both WireClient and ResilientClient.
 type BackendClient = wire.BackendClient
 
-// ResilientClient is a fault-tolerant backend connection: per-request
-// deadlines, bounded exponential backoff with jitter, automatic re-dial.
+// ResilientClient is a fault-tolerant backend link: a pool of multiplexed
+// connections with per-request deadlines, bounded exponential backoff with
+// jitter, and automatic lazy re-dial of broken pooled connections.
 type ResilientClient = wire.ResilientClient
 
-// RetryPolicy tunes the resilient client's retry behaviour.
+// RetryPolicy tunes the resilient client's retry behaviour and pool size.
 type RetryPolicy = resilience.Policy
 
 // DefaultRetryPolicy returns the standard retry policy (4 attempts, 10 ms
 // base delay doubling to a 500 ms cap with ±25% jitter, 2 s request
-// timeout).
+// timeout, 4 pooled connections).
 func DefaultRetryPolicy() RetryPolicy { return resilience.DefaultPolicy() }
 
 // ErrBackendDown reports an unreachable backend (errors.Is-comparable).
@@ -158,6 +169,12 @@ type RemoteCache = wire.RemoteCache
 // ServeBackend starts a TCP server for a backend on addr (use
 // "127.0.0.1:0" to pick a free port; see WireServer.Addr).
 func ServeBackend(b *Backend, addr string) (*WireServer, error) { return wire.Serve(b, addr) }
+
+// ServeBackendOpts is ServeBackend with explicit server options (e.g. the
+// in-flight request bound).
+func ServeBackendOpts(b *Backend, addr string, opts WireServerOptions) (*WireServer, error) {
+	return wire.ServeOpts(b, addr, opts)
+}
 
 // DialBackend connects to a backend's wire server.
 func DialBackend(addr string, timeout time.Duration) (*WireClient, error) {
