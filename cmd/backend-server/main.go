@@ -49,7 +49,8 @@ func main() {
 	fmt.Printf("backend serving on %s\n", srv.Addr())
 
 	if *httpAddr != "" {
-		bound, closeHTTP, err := obs.Serve(*httpAddr, nil, nil)
+		replStatus := obs.Status{Name: "repl", Fn: func() any { return backend.Repl.Health() }}
+		bound, closeHTTP, err := obs.Serve(*httpAddr, nil, nil, replStatus)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,10 +7,11 @@
 //	mtbench -experiment all
 //	mtbench -experiment scaleout -servers 5 -items 1000 -customers 2880
 //	mtbench -experiment throughput -clients 16 -bench-json BENCH_multiplex.json
+//	mtbench -experiment mvcc -clients 8 -bench-json BENCH_mvcc.json
 //
 // Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// throughput, all ("all" excludes chaos and throughput; run them
-// explicitly).
+// throughput, mvcc, all ("all" excludes chaos, throughput and mvcc; run
+// them explicitly).
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -57,6 +58,10 @@ func main() {
 	}
 	if *experiment == "throughput" {
 		printThroughput(*clients, *poolSize, *netDelay, *benchDur, *benchJSON)
+		return
+	}
+	if *experiment == "mvcc" {
+		printMVCC(*clients, *benchDur, *benchJSON)
 		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}

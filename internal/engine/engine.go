@@ -60,6 +60,12 @@ type Database struct {
 	planMu    sync.Mutex
 	planCache map[string]*opt.Plan
 
+	// mvPlans caches compiled matview maintenance plans per view. It is
+	// per-database (a *catalog.Table key from one database must never serve
+	// another's plan) and cleared by InvalidatePlans so DDL cannot leave
+	// stale entries behind.
+	mvPlans sync.Map // map[*catalog.Table]*mvPlan
+
 	// onCachedViewCreate is invoked when CREATE CACHED VIEW runs, so the
 	// MTCache layer can provision the replication subscription (paper §4).
 	onCachedViewCreate func(view *catalog.Table) error
@@ -126,11 +132,27 @@ func (db *Database) SetStalenessProbe(fn func(view string) (float64, bool)) {
 	db.stalenessOf = fn
 }
 
-// InvalidatePlans clears the plan cache (after DDL or stats refresh).
+// InvalidatePlans clears the plan cache and the matview maintenance-plan
+// cache (after DDL or stats refresh).
 func (db *Database) InvalidatePlans() {
 	db.planMu.Lock()
-	defer db.planMu.Unlock()
 	db.planCache = make(map[string]*opt.Plan)
+	db.planMu.Unlock()
+	db.mvPlans.Range(func(k, _ any) bool {
+		db.mvPlans.Delete(k)
+		return true
+	})
+}
+
+// mvPlanCacheSize reports the number of cached matview maintenance plans
+// (including negative entries); used by tests.
+func (db *Database) mvPlanCacheSize() int {
+	n := 0
+	db.mvPlans.Range(func(_, _ any) bool {
+		n++
+		return true
+	})
+	return n
 }
 
 func (db *Database) env() *opt.Env {

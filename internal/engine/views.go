@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"mtcache/internal/catalog"
 	"mtcache/internal/exec"
@@ -21,8 +20,6 @@ type mvPlan struct {
 	ords  []int     // base-table ordinals projected into the view
 	pkLen int
 }
-
-var mvPlanCache sync.Map // map[*catalog.Table]*mvPlan
 
 // maintainViews synchronously maintains local (non-cached) materialized
 // views over a base table inside the updating transaction. Because the
@@ -53,7 +50,7 @@ func (db *Database) maintainViews(tx *storage.Txn, base *catalog.Table, op stora
 // mvPlanFor compiles (and caches) the maintenance plan of view v if it is a
 // select-project view over base; returns nil otherwise.
 func (db *Database) mvPlanFor(v *catalog.Table, base *catalog.Table) (*mvPlan, error) {
-	if cached, ok := mvPlanCache.Load(v); ok {
+	if cached, ok := db.mvPlans.Load(v); ok {
 		mp := cached.(*mvPlan)
 		if mp == nil {
 			return nil, nil
@@ -68,7 +65,7 @@ func (db *Database) mvPlanFor(v *catalog.Table, base *catalog.Table) (*mvPlan, e
 	}
 	def := v.ViewDef
 	if len(def.From) != 1 || def.GroupBy != nil || def.Top != nil || def.Distinct {
-		mvPlanCache.Store(v, (*mvPlan)(nil))
+		db.mvPlans.Store(v, (*mvPlan)(nil))
 		return nil, nil
 	}
 	tn, ok := def.From[0].(*sql.TableName)
@@ -92,7 +89,7 @@ func (db *Database) mvPlanFor(v *catalog.Table, base *catalog.Table) (*mvPlan, e
 		}
 		ref, ok := item.Expr.(*sql.ColumnRef)
 		if !ok {
-			mvPlanCache.Store(v, (*mvPlan)(nil))
+			db.mvPlans.Store(v, (*mvPlan)(nil))
 			return nil, nil
 		}
 		ord := base.ColumnIndex(ref.Name)
@@ -101,7 +98,7 @@ func (db *Database) mvPlanFor(v *catalog.Table, base *catalog.Table) (*mvPlan, e
 		}
 		mp.ords = append(mp.ords, ord)
 	}
-	mvPlanCache.Store(v, mp)
+	db.mvPlans.Store(v, mp)
 	return mp, nil
 }
 

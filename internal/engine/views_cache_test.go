@@ -1,0 +1,79 @@
+package engine
+
+import "testing"
+
+// TestMVPlanCachePerDatabase: maintenance-plan caching is scoped to one
+// Database — populating one database's cache leaves another untouched, and
+// InvalidatePlans empties only its own.
+func TestMVPlanCachePerDatabase(t *testing.T) {
+	a := newBackendDB(t)
+	b := newBackendDB(t)
+	for _, db := range []*Database{a, b} {
+		if err := db.ExecScript(`CREATE MATERIALIZED VIEW cheap AS SELECT i_id, i_cost FROM item WHERE i_cost <= 50`); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// DML on a populates a's maintenance-plan cache only.
+	if _, err := a.Exec("INSERT INTO item (i_id, i_title, i_cost) VALUES (700, 'x', 5)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.mvPlanCacheSize(); n == 0 {
+		t.Fatal("DML did not populate the maintenance-plan cache")
+	}
+	if n := b.mvPlanCacheSize(); n != 0 {
+		t.Errorf("database b's cache has %d entries from a's DML", n)
+	}
+
+	a.InvalidatePlans()
+	if n := a.mvPlanCacheSize(); n != 0 {
+		t.Errorf("InvalidatePlans left %d cached maintenance plans", n)
+	}
+}
+
+// TestMVPlanCacheDropRecreate: dropping and recreating a matview with a
+// different definition must not reuse the old maintenance plan (the catalog
+// table pointer keys the cache and DDL invalidates it).
+func TestMVPlanCacheDropRecreate(t *testing.T) {
+	db := newBackendDB(t)
+	if err := db.ExecScript(`CREATE MATERIALIZED VIEW cheap AS SELECT i_id, i_cost FROM item WHERE i_cost <= 50`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO item (i_id, i_title, i_cost) VALUES (701, 'x', 5)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.mvPlanCacheSize() == 0 {
+		t.Fatal("cache not populated")
+	}
+
+	if err := db.ExecScript(`DROP VIEW cheap`); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.mvPlanCacheSize(); n != 0 {
+		t.Fatalf("DROP VIEW left %d cached plans", n)
+	}
+	if err := db.ExecScript(`CREATE MATERIALIZED VIEW cheap AS SELECT i_id, i_cost FROM item WHERE i_cost > 100`); err != nil {
+		t.Fatal(err)
+	}
+	// The new definition governs maintenance: a cost-5 row must NOT appear.
+	if _, err := db.Exec("INSERT INTO item (i_id, i_title, i_cost) VALUES (702, 'y', 5)", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM cheap WHERE i_id = 702", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("recreated view used a stale maintenance plan (old predicate applied)")
+	}
+	if _, err := db.Exec("INSERT INTO item (i_id, i_title, i_cost) VALUES (703, 'z', 150)", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Exec("SELECT COUNT(*) FROM cheap WHERE i_id = 703", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Error("recreated view did not maintain under its new predicate")
+	}
+}

@@ -113,7 +113,7 @@ type Scan struct {
 	TableName string
 	Cols      []ColInfo
 
-	td  *storage.TableData
+	td  *storage.TableView
 	pos int
 	cap int
 }
@@ -123,6 +123,9 @@ func (s *Scan) Columns() []ColInfo { return s.Cols }
 func (s *Scan) Open(ctx *Ctx) error {
 	s.td = ctx.Txn.Table(s.TableName)
 	if s.td == nil {
+		if err := ctx.Txn.Err(); err != nil {
+			return err
+		}
 		return fmt.Errorf("exec: table %s does not exist", s.TableName)
 	}
 	s.pos = 0
@@ -158,7 +161,7 @@ type IndexScan struct {
 	Lo, Hi    []Expr // prefix bounds; nil slices mean unbounded
 
 	rids []storage.RowID
-	td   *storage.TableData
+	td   *storage.TableView
 	pos  int
 }
 
@@ -167,6 +170,9 @@ func (s *IndexScan) Columns() []ColInfo { return s.Cols }
 func (s *IndexScan) Open(ctx *Ctx) error {
 	s.td = ctx.Txn.Table(s.TableName)
 	if s.td == nil {
+		if err := ctx.Txn.Err(); err != nil {
+			return err
+		}
 		return fmt.Errorf("exec: table %s does not exist", s.TableName)
 	}
 	tree := s.td.Index(s.IndexName)

@@ -120,7 +120,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	s := append([]float64(nil), h.samples...)
 	sort.Float64s(s)
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	// The epsilon guards the nearest-rank computation against binary float
+	// round-up: q values like 9/14 times certain n land a hair above the
+	// exact integer product, and a bare Ceil would then over-report the rank
+	// by one. Any epsilon far above the float error (~1e-13 at these
+	// magnitudes) and far below the smallest meaningful rank fraction works.
+	idx := int(math.Ceil(q*float64(len(s))-1e-9)) - 1
 	if idx < 0 {
 		idx = 0
 	}

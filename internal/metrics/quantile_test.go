@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// exactRank is the nearest-rank index (1-based) computed in integer
+// arithmetic for q = num/den over n samples: ceil(num*n/den), clamped to
+// [1, n]. This is the ground truth the float implementation must match.
+func exactRank(num, den, n int) int {
+	r := (num*n + den - 1) / den
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// TestQuantileNearestRankProperty checks Quantile against the integer
+// nearest-rank definition for every fraction num/den and sample count in a
+// grid. Samples are the values 1..n inserted in random order, so the value
+// at rank r is exactly float64(r).
+func TestQuantileNearestRankProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20030609))
+	for den := 1; den <= 40; den++ {
+		for num := 0; num <= den; num++ {
+			q := float64(num) / float64(den)
+			for n := 1; n <= 60; n++ {
+				h := NewHistogram(0)
+				for _, v := range rng.Perm(n) {
+					h.Observe(float64(v + 1))
+				}
+				want := float64(exactRank(num, den, n))
+				if got := h.Quantile(q); got != want {
+					t.Fatalf("Quantile(%d/%d) over 1..%d = %v, want rank %v", num, den, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileFloatRoundUpRegression pins concrete cases where
+// ceil(q*float64(n)) lands one above the exact rank because the binary
+// representation of q pushes the product just past an integer.
+func TestQuantileFloatRoundUpRegression(t *testing.T) {
+	cases := []struct{ num, den, n int }{
+		{9, 14, 42},  // 9/14 * 42 = 27 exactly; float product is 27.000000000000004
+		{9, 11, 77},  // 63
+		{7, 12, 108}, // 63
+	}
+	for _, c := range cases {
+		h := NewHistogram(0)
+		for i := 1; i <= c.n; i++ {
+			h.Observe(float64(i))
+		}
+		want := float64(exactRank(c.num, c.den, c.n))
+		if got := h.Quantile(float64(c.num) / float64(c.den)); got != want {
+			t.Errorf("Quantile(%d/%d) over 1..%d = %v, want %v", c.num, c.den, c.n, got, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram(0)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	single := NewHistogram(0)
+	single.Observe(42)
+	for _, q := range []float64{-1, 0, 0.001, 0.5, 0.999, 1, 2} {
+		if got := single.Quantile(q); got != 42 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+
+	h := NewHistogram(0)
+	for _, v := range []float64{3, 1, 2, 5, 4} {
+		h.Observe(v)
+	}
+	// q=0 and q outside [0,1] clamp to the extremes.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want min", got)
+	}
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %v, want max", got)
+	}
+	if got := h.Quantile(1.5); got != 5 {
+		t.Errorf("Quantile(1.5) = %v, want max", got)
+	}
+	// p20 of 5 samples is rank ceil(1) = 1, the minimum — not rank 2.
+	if got := h.Quantile(0.2); got != 1 {
+		t.Errorf("Quantile(0.2) over 5 samples = %v, want 1", got)
+	}
+
+	dup := NewHistogram(0)
+	for i := 0; i < 10; i++ {
+		dup.Observe(7)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := dup.Quantile(q); got != 7 {
+			t.Errorf("duplicate-sample Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	// Duplicates mixed with distinct values: sorted multiset ranks apply.
+	mixed := NewHistogram(0)
+	for _, v := range []float64{1, 1, 1, 1, 9} {
+		mixed.Observe(v)
+	}
+	if got := mixed.Quantile(0.8); got != 1 { // rank ceil(4) = 4 → 1
+		t.Errorf("mixed Quantile(0.8) = %v, want 1", got)
+	}
+	if got := mixed.Quantile(0.81); got != 9 { // rank ceil(4.05) = 5 → 9
+		t.Errorf("mixed Quantile(0.81) = %v, want 9", got)
+	}
+}

@@ -4,11 +4,15 @@
 //	/metrics.json      the same snapshot as JSON
 //	/debug/trace/last  the most recent query trace, rendered as a text tree
 //	/debug/traces      the recent-trace ring, newest first
+//	/debug/status      JSON from registered Status sources (e.g. per-
+//	                   subscription replication health: queue depth, apply
+//	                   errors, staleness)
 //
 // Both server binaries mount it; tests hit it through httptest.
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -17,9 +21,17 @@ import (
 	"mtcache/internal/trace"
 )
 
+// Status is a named source of structured health state, polled at request
+// time and rendered as JSON under its name at /debug/status.
+type Status struct {
+	Name string
+	Fn   func() any
+}
+
 // Handler returns the observability mux over a registry and a trace
-// collector. nil arguments select the process-wide defaults.
-func Handler(reg *metrics.Registry, traces *trace.Collector) http.Handler {
+// collector. nil arguments select the process-wide defaults. Status sources,
+// if any, are served at /debug/status.
+func Handler(reg *metrics.Registry, traces *trace.Collector, status ...Status) http.Handler {
 	if reg == nil {
 		reg = metrics.Default
 	}
@@ -56,18 +68,28 @@ func Handler(reg *metrics.Registry, traces *trace.Collector) http.Handler {
 			fmt.Fprintln(w)
 		}
 	})
+	mux.HandleFunc("/debug/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := make(map[string]any, len(status))
+		for _, s := range status {
+			out[s.Name] = s.Fn()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck — best-effort over HTTP
+	})
 	return mux
 }
 
 // Serve starts the observability endpoint on addr (e.g. "127.0.0.1:8344")
 // in a background goroutine and returns the bound listener address. The
 // listener is closed with the returned closer.
-func Serve(addr string, reg *metrics.Registry, traces *trace.Collector) (string, func() error, error) {
+func Serve(addr string, reg *metrics.Registry, traces *trace.Collector, status ...Status) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, traces)}
+	srv := &http.Server{Handler: Handler(reg, traces, status...)}
 	go srv.Serve(ln) //nolint:errcheck — closed via the returned closer
 	return ln.Addr().String(), srv.Close, nil
 }

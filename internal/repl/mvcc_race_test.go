@@ -1,0 +1,159 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNoTornReadsDuringApply runs queries against the subscriber while the
+// distribution agent applies generation updates, and asserts no query ever
+// observes a half-applied transaction. Each publisher generation is a single
+// UPDATE-all statement (one transaction), so every snapshot must see all
+// rows at the same cost. Under the seed's store-wide 2PL this test either
+// blocks readers behind every apply or — with the exclusion removed — shows
+// torn generations; under MVCC it passes, including with -race.
+func TestNoTornReadsDuringApply(t *testing.T) {
+	const rows = 60
+	pub := newPublisher(t, rows)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, err := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, filterCost(t, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level the generation before subscribing: the initial snapshot then
+	// carries uniform costs, so "all costs equal" holds for every read.
+	if _, err := pub.Exec("UPDATE item SET i_cost = 1000 WHERE i_id > 0", nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := srv.Subscribe(art, subDB, "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Distribution agent: ship publisher commits to the subscriber.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			srv.RunLogReader()
+			if _, err := srv.RunDistribution(sub); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	// Readers: every query is one snapshot; a torn apply would surface as
+	// min != max within a single result.
+	tornCh := make(chan string, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := subDB.Exec("SELECT MIN(i_cost), MAX(i_cost), COUNT(*) FROM tgt", nil)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				lo, hi := res.Rows[0][0].Float(), res.Rows[0][1].Float()
+				n := res.Rows[0][2].Int()
+				if lo != hi {
+					select {
+					case tornCh <- fmt.Sprintf("torn generation: min=%g max=%g over %d rows", lo, hi, n):
+					default:
+					}
+					return
+				}
+				if n != rows {
+					select {
+					case tornCh <- fmt.Sprintf("torn row count: %d, want %d", n, rows):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	// Publisher: one transaction per generation.
+	deadline := time.Now().Add(time.Second)
+	for g := 1; time.Now().Before(deadline); g++ {
+		stmt := fmt.Sprintf("UPDATE item SET i_cost = %d WHERE i_id > 0", 1000+g)
+		if _, err := pub.Exec(stmt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-tornCh:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestDistributionSkipsQueueOnlySubscriptions: the agent loop must not try
+// to apply a remote (pull) subscription locally — it has no target database
+// — and must leave its queue for the remote agent to drain. Regression test
+// for a nil-target panic in the backend's distribution goroutine.
+func TestDistributionSkipsQueueOnlySubscriptions(t *testing.T) {
+	pub := newPublisher(t, 10)
+	srv := NewServer(pub)
+	art, err := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, filterCost(t, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lsn, err := srv.SnapshotRows(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := srv.SubscribeRemote(art, "pull_sub", lsn)
+
+	if _, err := pub.Exec("UPDATE item SET i_cost = 5 WHERE i_id = 1", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.RunLogReader()
+	if srv.PendingFor(remote) == 0 {
+		t.Fatal("log reader did not enqueue for the remote subscription")
+	}
+
+	n, err := srv.RunDistribution(remote)
+	if err != nil {
+		t.Fatalf("distribution over a queue-only subscription: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("distribution applied %d txns to a subscription with no target", n)
+	}
+	if got := len(srv.DrainAfter(remote, 0, 0)); got == 0 {
+		t.Error("queued batches were discarded; the remote puller would lose them")
+	}
+
+	// Health must describe the target-less subscription without panicking.
+	hs := srv.Health()
+	if len(hs) != 1 {
+		t.Fatalf("health entries: %d", len(hs))
+	}
+	if hs[0].Target != "(pull)" {
+		t.Errorf("queue-only subscription target rendered as %q", hs[0].Target)
+	}
+	if hs[0].Pending == 0 {
+		t.Error("health does not report the pending pull batch")
+	}
+}

@@ -43,7 +43,9 @@ func (s *Server) SnapshotRows(a *Article) ([]types.Row, storage.LSN, error) {
 		}
 		return true
 	})
-	lsn := pubStore.WAL().End()
+	// AsOfLSN, not WAL().End(): under MVCC commits proceed during the scan,
+	// so the log may already extend past what this snapshot sees.
+	lsn := rtx.AsOfLSN()
 	rtx.Abort()
 	if evalErr != nil {
 		return nil, 0, evalErr

@@ -81,6 +81,21 @@ type Subscription struct {
 	// start whenever the queue fully drains. It backs the WITH FRESHNESS
 	// extension (paper §7): staleness = now − currentAsOf.
 	currentAsOf time.Time
+
+	// Apply-failure bookkeeping, surfaced by Server.Health and the
+	// repl.apply_errors metric. The agent tick loop retries failed applies,
+	// so errors here are the only durable record of trouble.
+	applyErrors int64
+	lastErr     string
+	lastErrAt   time.Time
+}
+
+// LastError returns the most recent apply failure and when it happened
+// (zero values when the subscription has never failed).
+func (sub *Subscription) LastError() (string, time.Time) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.lastErr, sub.lastErrAt
 }
 
 // Staleness returns an upper bound on how far the target trails the
@@ -276,9 +291,11 @@ func (s *Server) snapshot(sub *Subscription) error {
 		}
 		return true
 	})
-	// The WAL position is consistent with the scan because commits require
-	// the exclusive store lock our read transaction blocks.
-	sub.nextLSN = pubStore.WAL().End()
+	// Under MVCC the scan no longer blocks commits, so the current WAL end
+	// may already include transactions our snapshot cannot see. AsOfLSN is
+	// the WAL position published atomically with the snapshot's commit
+	// timestamp: the stream resumes exactly where the snapshot ends.
+	sub.nextLSN = rtx.AsOfLSN()
 	rtx.Abort()
 	if evalErr != nil {
 		return evalErr
@@ -430,6 +447,12 @@ func (s *Server) RunDistribution(sub *Subscription) (int, error) {
 		metrics.Default.Histogram("repl.apply_seconds").ObserveDuration(d)
 	}()
 
+	// Queue-only subscriptions (SubscribeRemote) have no local target: a
+	// remote agent drains them with pulls and acks. Applying here would nil-
+	// panic the agent loop and, worse, discard batches the puller still needs.
+	if sub.Target == nil {
+		return 0, nil
+	}
 	sub.mu.Lock()
 	pending := sub.queue
 	sub.queue = nil
@@ -443,10 +466,16 @@ func (s *Server) RunDistribution(sub *Subscription) (int, error) {
 			err = applyTxn(sub, txn, changes)
 		}
 		if err != nil {
-			// Re-queue the unapplied suffix to preserve commit order.
+			// Re-queue the unapplied suffix to preserve commit order, and
+			// record the failure: the agent loop retries on the next tick, so
+			// without a counter and a last-error slot these would vanish.
 			sub.mu.Lock()
 			sub.queue = append(append([]queuedTxn{}, pending[i:]...), sub.queue...)
+			sub.applyErrors++
+			sub.lastErr = err.Error()
+			sub.lastErrAt = time.Now()
 			sub.mu.Unlock()
+			metrics.Default.Counter("repl.apply_errors").Add(1)
 			return i, err
 		}
 		s.Stats.TxnsApplied.Add(1)
@@ -468,7 +497,7 @@ func applyTxn(sub *Subscription, txn queuedTxn, changes []storage.ChangeRec) err
 
 // locateTargetRow finds a row by target primary key, falling back to
 // full-row equality.
-func locateTargetRow(td *storage.TableData, target *catalog.Table, row types.Row) storage.RowID {
+func locateTargetRow(td *storage.TableView, target *catalog.Table, row types.Row) storage.RowID {
 	if len(target.PrimaryKey) > 0 {
 		key := make(types.Row, len(target.PrimaryKey))
 		for i, ord := range target.PrimaryKey {
@@ -540,7 +569,12 @@ func (s *Server) Start(readerInterval, distInterval time.Duration) {
 				return
 			case <-t.C:
 				for _, sub := range s.Subscriptions() {
-					s.RunDistribution(sub) //nolint:errcheck — agent retries next tick
+					if _, err := s.RunDistribution(sub); err != nil {
+						// Counted in repl.apply_errors and remembered on the
+						// subscription; the next tick retries from the
+						// re-queued suffix.
+						continue
+					}
 				}
 			}
 		}
@@ -572,4 +606,44 @@ func (s *Server) PendingFor(sub *Subscription) int {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	return len(sub.queue)
+}
+
+// SubHealth is one subscription's health snapshot for the obs endpoint.
+type SubHealth struct {
+	Name             string    `json:"name"`
+	Target           string    `json:"target"`
+	Pending          int       `json:"pending"`
+	ApplyErrors      int64     `json:"apply_errors"`
+	LastError        string    `json:"last_error,omitempty"`
+	LastErrorAt      time.Time `json:"last_error_at,omitzero"`
+	StalenessSeconds float64   `json:"staleness_seconds"`
+}
+
+// Health reports per-subscription replication health: queue depth, staleness
+// and the apply-failure record. Served at /debug/status by the obs handler.
+func (s *Server) Health() []SubHealth {
+	now := time.Now()
+	subs := s.Subscriptions()
+	out := make([]SubHealth, 0, len(subs))
+	for _, sub := range subs {
+		// Queue-only (pull) subscriptions have no local target database.
+		target := "(pull)"
+		if sub.Target != nil {
+			target = sub.Target.Name + "." + sub.TargetTable
+		}
+		sub.mu.Lock()
+		h := SubHealth{
+			Name:             sub.Name,
+			Target:           target,
+			Pending:          len(sub.queue),
+			ApplyErrors:      sub.applyErrors,
+			LastError:        sub.lastErr,
+			LastErrorAt:      sub.lastErrAt,
+			StalenessSeconds: 0,
+		}
+		sub.mu.Unlock()
+		h.StalenessSeconds = sub.Staleness(now).Seconds()
+		out = append(out, h)
+	}
+	return out
 }

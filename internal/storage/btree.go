@@ -1,11 +1,13 @@
 // Package storage implements the in-memory storage engine: table heaps,
-// B-tree indexes, strict transactions and a write-ahead log of committed
-// changes. The log is structurally the thing SQL Server's transactional
-// replication "sniffs": the log reader agent in internal/repl reads committed
-// transactions from it in commit order (paper §2.2).
+// B-tree indexes, multi-version (MVCC) transactions and a write-ahead log of
+// committed changes. The log is structurally the thing SQL Server's
+// transactional replication "sniffs": the log reader agent in internal/repl
+// reads committed transactions from it in commit order (paper §2.2).
 package storage
 
 import (
+	"sync/atomic"
+
 	"mtcache/internal/types"
 )
 
@@ -34,11 +36,15 @@ func cmpItem(a, b Item) int {
 	return 0
 }
 
-// BTree is an in-memory B+tree over Items. It is not internally synchronized;
-// the Store serializes access.
+// BTree is an in-memory B+tree over Items with copy-on-write structural
+// updates: Insert and Delete clone every node on the mutated path and publish
+// a new root with a single atomic store. Mutators must still be externally
+// serialized (the Store's per-table write latch does this), but any number of
+// readers may traverse a pinned root concurrently — and keep iterating their
+// snapshot while later writes publish new roots.
 type BTree struct {
-	root *node
-	size int
+	root atomic.Pointer[node]
+	size atomic.Int64
 }
 
 type node struct {
@@ -48,13 +54,28 @@ type node struct {
 
 func (n *node) leaf() bool { return n.children == nil }
 
-// NewBTree returns an empty tree.
-func NewBTree() *BTree {
-	return &BTree{root: &node{}}
+// clone returns a copy of n with fresh item and child slices. The pointed-to
+// children are shared; the mutating path replaces only the ones it touches.
+func (n *node) clone() *node {
+	c := &node{items: append([]Item(nil), n.items...)}
+	if n.children != nil {
+		c.children = append([]*node(nil), n.children...)
+	}
+	return c
 }
 
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	t := &BTree{}
+	t.root.Store(&node{})
+	return t
+}
+
+// pin returns the current root for a consistent read-only traversal.
+func (t *BTree) pin() *node { return t.root.Load() }
+
 // Len returns the number of entries.
-func (t *BTree) Len() int { return t.size }
+func (t *BTree) Len() int { return int(t.size.Load()) }
 
 // find locates the first index in n.items >= it, and whether an exact match
 // exists at that index.
@@ -76,45 +97,54 @@ func (n *node) find(it Item) (int, bool) {
 
 // Insert adds an entry; duplicate (key, rid) pairs are replaced.
 func (t *BTree) Insert(it Item) {
-	if len(t.root.items) >= btreeOrder {
-		old := t.root
-		t.root = &node{children: []*node{old}}
-		t.root.splitChild(0)
+	r := t.root.Load()
+	if len(r.items) >= btreeOrder {
+		nr := &node{children: []*node{r}}
+		nr.splitChild(0)
+		r = nr
 	}
-	if t.root.insert(it) {
-		t.size++
+	nr, added := r.insert(it)
+	t.root.Store(nr)
+	if added {
+		t.size.Add(1)
 	}
 }
 
-// insert returns true if the entry is new.
-func (n *node) insert(it Item) bool {
-	i, found := n.find(it)
+// insert returns a path-copied node with the entry applied, and whether the
+// entry is new.
+func (n *node) insert(it Item) (*node, bool) {
+	c := n.clone()
+	i, found := c.find(it)
 	if found {
-		n.items[i] = it
-		return false
+		c.items[i] = it
+		return c, false
 	}
-	if n.leaf() {
-		n.items = append(n.items, Item{})
-		copy(n.items[i+1:], n.items[i:])
-		n.items[i] = it
-		return true
+	if c.leaf() {
+		c.items = append(c.items, Item{})
+		copy(c.items[i+1:], c.items[i:])
+		c.items[i] = it
+		return c, true
 	}
-	if len(n.children[i].items) >= btreeOrder {
-		n.splitChild(i)
-		switch c := cmpItem(it, n.items[i]); {
-		case c == 0:
-			n.items[i] = it
-			return false
-		case c > 0:
+	if len(c.children[i].items) >= btreeOrder {
+		c.splitChild(i)
+		switch cmp := cmpItem(it, c.items[i]); {
+		case cmp == 0:
+			c.items[i] = it
+			return c, false
+		case cmp > 0:
 			i++
 		}
 	}
-	return n.children[i].insert(it)
+	nc, added := c.children[i].insert(it)
+	c.children[i] = nc
+	return c, added
 }
 
 // splitChild splits the full child at index i, hoisting its median into n.
+// n must be caller-owned (a fresh clone); the child is cloned before mutation.
 func (n *node) splitChild(i int) {
-	child := n.children[i]
+	child := n.children[i].clone()
+	n.children[i] = child
 	mid := len(child.items) / 2
 	median := child.items[mid]
 	right := &node{items: append([]Item(nil), child.items[mid+1:]...)}
@@ -135,52 +165,73 @@ func (n *node) splitChild(i int) {
 // Delete removes the entry equal to it (key and rid both matching).
 // It reports whether an entry was removed.
 func (t *BTree) Delete(it Item) bool {
-	if !t.root.delete(it) {
+	r := t.root.Load()
+	nr, ok := r.delete(it)
+	if !ok {
 		return false
 	}
-	t.size--
-	if len(t.root.items) == 0 && !t.root.leaf() {
-		t.root = t.root.children[0]
+	if len(nr.items) == 0 && !nr.leaf() {
+		nr = nr.children[0]
 	}
+	t.root.Store(nr)
+	t.size.Add(-1)
 	return true
 }
 
 const minItems = btreeOrder / 2
 
-func (n *node) delete(it Item) bool {
+// delete returns a path-copied node with the entry removed. When the entry is
+// absent it returns the original node untouched (no clone is published).
+func (n *node) delete(it Item) (*node, bool) {
 	i, found := n.find(it)
 	if n.leaf() {
 		if !found {
-			return false
+			return n, false
 		}
-		n.items = append(n.items[:i], n.items[i+1:]...)
-		return true
+		c := n.clone()
+		c.items = append(c.items[:i], c.items[i+1:]...)
+		return c, true
 	}
+	c := n.clone()
 	if found {
 		// CLRS case 2: the key lives in this internal node.
-		left, right := n.children[i], n.children[i+1]
+		left := c.children[i].clone()
+		right := c.children[i+1].clone()
+		c.children[i], c.children[i+1] = left, right
 		if len(left.items) > minItems {
 			pred := left.max()
-			n.items[i] = pred
-			return left.delete(pred)
+			c.items[i] = pred
+			nl, _ := left.delete(pred)
+			c.children[i] = nl
+			return c, true
 		}
 		if len(right.items) > minItems {
 			succ := right.min()
-			n.items[i] = succ
-			return right.delete(succ)
+			c.items[i] = succ
+			nr, _ := right.delete(succ)
+			c.children[i+1] = nr
+			return c, true
 		}
 		// Merge left + separator + right, then delete from the merged node.
-		left.items = append(left.items, n.items[i])
+		left.items = append(left.items, c.items[i])
 		left.items = append(left.items, right.items...)
 		left.children = append(left.children, right.children...)
-		n.items = append(n.items[:i], n.items[i+1:]...)
-		n.children = append(n.children[:i+1], n.children[i+2:]...)
-		return left.delete(it)
+		c.items = append(c.items[:i], c.items[i+1:]...)
+		c.children = append(c.children[:i+1], c.children[i+2:]...)
+		nm, ok := left.delete(it)
+		c.children[i] = nm
+		return c, ok
 	}
 	// CLRS case 3: descend, topping up the child first so it cannot underflow.
-	n.ensureChild(i)
-	j, _ := n.find(it)
-	return n.children[j].delete(it)
+	c.ensureChild(i)
+	j, _ := c.find(it)
+	nc, ok := c.children[j].delete(it)
+	if !ok {
+		// Nothing removed: discard the restructured clone, keep the original.
+		return n, false
+	}
+	c.children[j] = nc
+	return c, true
 }
 
 func (n *node) max() Item {
@@ -198,7 +249,8 @@ func (n *node) min() Item {
 }
 
 // ensureChild guarantees children[i] has more than minItems entries so a
-// recursive delete cannot underflow it.
+// recursive delete cannot underflow it. n must be caller-owned (a fresh
+// clone); every sibling it mutates is cloned first.
 func (n *node) ensureChild(i int) {
 	if len(n.children[i].items) > minItems {
 		return
@@ -206,7 +258,8 @@ func (n *node) ensureChild(i int) {
 	switch {
 	case i > 0 && len(n.children[i-1].items) > minItems:
 		// borrow from left sibling
-		child, left := n.children[i], n.children[i-1]
+		child, left := n.children[i].clone(), n.children[i-1].clone()
+		n.children[i], n.children[i-1] = child, left
 		child.items = append([]Item{n.items[i-1]}, child.items...)
 		n.items[i-1] = left.items[len(left.items)-1]
 		left.items = left.items[:len(left.items)-1]
@@ -216,7 +269,8 @@ func (n *node) ensureChild(i int) {
 		}
 	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
 		// borrow from right sibling
-		child, right := n.children[i], n.children[i+1]
+		child, right := n.children[i].clone(), n.children[i+1].clone()
+		n.children[i], n.children[i+1] = child, right
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
 		right.items = right.items[1:]
@@ -225,11 +279,12 @@ func (n *node) ensureChild(i int) {
 			right.children = right.children[1:]
 		}
 	default:
-		// merge with a sibling
+		// merge with a sibling (the absorbed right node is read, not mutated)
 		if i == len(n.children)-1 {
 			i--
 		}
-		child, right := n.children[i], n.children[i+1]
+		child, right := n.children[i].clone(), n.children[i+1]
+		n.children[i] = child
 		child.items = append(child.items, n.items[i])
 		child.items = append(child.items, right.items...)
 		child.children = append(child.children, right.children...)
@@ -250,19 +305,24 @@ func (t *BTree) Get(key types.Row) []RowID {
 
 // Ascend visits all entries in key order.
 func (t *BTree) Ascend(fn func(Item) bool) {
-	t.root.ascend(Item{}, false, fn)
+	t.pin().ascend(Item{}, false, fn)
 }
 
 // AscendGE visits entries with key >= from (by key prefix comparison).
 func (t *BTree) AscendGE(from types.Row, fn func(Item) bool) {
-	t.root.ascend(Item{Key: from, RID: -1 << 62}, true, fn)
+	t.pin().ascend(Item{Key: from, RID: -1 << 62}, true, fn)
 }
 
 // AscendRange visits entries whose key prefix is within [lo, hi]. Keys are
 // compared only on the first len(lo)/len(hi) columns, so a multi-column
 // index supports prefix range scans.
 func (t *BTree) AscendRange(lo, hi types.Row, fn func(Item) bool) {
-	t.AscendGE(lo, func(it Item) bool {
+	t.pin().ascendRange(lo, hi, fn)
+}
+
+// ascendRange is the node-level range scan shared by BTree and IndexView.
+func (n *node) ascendRange(lo, hi types.Row, fn func(Item) bool) {
+	n.ascend(Item{Key: lo, RID: -1 << 62}, true, func(it Item) bool {
 		prefix := it.Key
 		if len(hi) < len(prefix) {
 			prefix = prefix[:len(hi)]
@@ -295,22 +355,30 @@ func (n *node) ascend(from Item, bounded bool, fn func(Item) bool) bool {
 	return true
 }
 
+// get collects the RowIDs of all entries equal to key in a pinned subtree.
+func (n *node) get(key types.Row) []RowID {
+	var out []RowID
+	n.ascendRange(key, key, func(it Item) bool {
+		out = append(out, it.RID)
+		return true
+	})
+	return out
+}
+
 // Min returns the smallest entry, or a zero Item if empty.
 func (t *BTree) Min() (Item, bool) {
-	n := t.root
+	n := t.pin()
 	if len(n.items) == 0 {
 		return Item{}, false
 	}
-	for !n.leaf() {
-		n = n.children[0]
-	}
-	return n.items[0], true
+	return n.min(), true
 }
 
 // Max returns the largest entry, or a zero Item if empty.
 func (t *BTree) Max() (Item, bool) {
-	if len(t.root.items) == 0 {
+	n := t.pin()
+	if len(n.items) == 0 {
 		return Item{}, false
 	}
-	return t.root.max(), true
+	return n.max(), true
 }

@@ -1,31 +1,84 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mtcache/internal/catalog"
+	"mtcache/internal/metrics"
 	"mtcache/internal/types"
 )
 
+// ErrDeadlock is returned when acquiring a table write latch would close a
+// wait-for cycle. The transaction is poisoned (Err reports it); callers abort
+// and may retry.
+var ErrDeadlock = errors.New("storage: deadlock detected")
+
+// gcInterval is how many write commits elapse between automatic version GC
+// sweeps.
+const gcInterval = 64
+
+// snapMark pairs a commit timestamp with the WAL position containing exactly
+// the logged transactions committed at or before it. Commit publishes a new
+// mark after stamping versions and appending to the log (both under
+// commitMu), so a reader pinning the mark gets a snapshot whose WAL prefix is
+// consistent with what it sees — the replication layer relies on this to take
+// materialization snapshots without blocking writers.
+type snapMark struct {
+	ts     int64
+	walEnd LSN
+}
+
 // Store is the storage manager for one database: a set of table heaps, the
-// WAL, and transaction control. Concurrency model: strict two-phase locking
-// at store granularity — read transactions share, write transactions are
-// exclusive. This gives serializability with a simple proof, which is what
-// the replication layer's "transactionally consistent but possibly stale"
-// guarantee (paper §3) is built on.
+// WAL, and transaction control.
+//
+// Concurrency model: multi-version concurrency control. Rows are version
+// chains stamped with begin/end commit timestamps. Read transactions pin the
+// newest published commit timestamp at Begin and resolve every row against
+// that snapshot — they take no locks and are never blocked by writers (the
+// paper §3 guarantee, "transactionally consistent but possibly stale", with
+// the blocking removed). Write transactions serialize per table: the first
+// access to a table — read or write — takes that table's write latch, held to
+// commit/abort (strict 2PL among writers, at table granularity), with
+// wait-for-graph deadlock detection. Commit stamps all created/ended versions
+// and appends the WAL under a short critical section, then publishes the new
+// timestamp with one atomic store — so concurrent readers observe each
+// transaction all-or-nothing. Version garbage collection reclaims images no
+// live snapshot can reach, keyed off the oldest pinned snapshot.
 type Store struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex // guards the table map (DDL vs lookup), nothing else
 	tables map[string]*TableData
 	wal    *WAL
-	nextTx int64
+	nextTx atomic.Int64
+
+	commitMu  sync.Mutex // serializes commit stamping + WAL append
+	published atomic.Pointer[snapMark]
+
+	snapMu  sync.Mutex // guards snaps/readers; pin reads published inside it
+	snaps   map[int64]int
+	readers int
+
+	lockMu   sync.Mutex // lock manager: table latch owners + wait-for graph
+	lockCond *sync.Cond
+	waitFor  map[int64]*TableData
+
+	commits atomic.Int64 // write commits since the last automatic GC trigger
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{tables: make(map[string]*TableData), wal: NewWAL()}
+	s := &Store{
+		tables:  make(map[string]*TableData),
+		wal:     NewWAL(),
+		snaps:   make(map[int64]int),
+		waitFor: make(map[int64]*TableData),
+	}
+	s.lockCond = sync.NewCond(&s.lockMu)
+	s.published.Store(&snapMark{ts: 0, walEnd: s.wal.End()})
+	return s
 }
 
 // WAL exposes the log for the replication reader.
@@ -55,28 +108,167 @@ func (s *Store) DropTable(name string) error {
 	return nil
 }
 
-// AddIndex builds an index over existing rows.
+// AddIndex builds an index over existing rows. It latches the table like a
+// writer so the build cannot race an in-flight transaction.
 func (s *Store) AddIndex(table string, idx *catalog.Index) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	td, ok := s.tables[keyName(table)]
-	if !ok {
+	s.mu.RLock()
+	td := s.tables[keyName(table)]
+	s.mu.RUnlock()
+	if td == nil {
 		return fmt.Errorf("storage: table %s does not exist", table)
 	}
+	id := s.nextTx.Add(1)
+	if err := s.acquireLatch(id, td); err != nil {
+		return err
+	}
 	td.addIndexLocked(idx)
+	s.releaseLatches(id, []*TableData{td})
 	return nil
 }
 
-// Table returns the storage for a table, or nil. It takes the store's read
-// lock for the map lookup (callers such as DDL existence checks hold no
-// transaction, and must not race with concurrent CreateTable/DropTable).
-// Access to the returned data still requires a transaction spanning it; use
-// Txn.Table inside a transaction — the held lock already covers the lookup.
+// Table returns the storage for a table, or nil. Used by DDL existence
+// checks; data access goes through Txn.Table, which returns a TableView
+// carrying the transaction's visibility rule.
 func (s *Store) Table(name string) *TableData {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.tables[keyName(name)]
 }
+
+// --- lock manager -----------------------------------------------------------
+
+// acquireLatch takes td's write latch for owner id, blocking while another
+// owner holds it. Before each wait it checks the wait-for graph; closing a
+// cycle returns ErrDeadlock instead of waiting forever.
+func (s *Store) acquireLatch(id int64, td *TableData) error {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	for td.owner != 0 && td.owner != id {
+		if s.wouldDeadlock(id, td) {
+			return ErrDeadlock
+		}
+		s.waitFor[id] = td
+		s.lockCond.Wait()
+		delete(s.waitFor, id)
+	}
+	td.owner = id
+	return nil
+}
+
+// wouldDeadlock follows owner→waiting-for edges from td; reaching id again
+// means granting the wait would close a cycle. Caller holds lockMu.
+func (s *Store) wouldDeadlock(id int64, td *TableData) bool {
+	for hops := 0; td != nil && hops < 1<<16; hops++ {
+		owner := td.owner
+		if owner == 0 {
+			return false
+		}
+		if owner == id {
+			return true
+		}
+		td = s.waitFor[owner]
+	}
+	return false
+}
+
+// releaseLatches frees every latch id holds and wakes waiters.
+func (s *Store) releaseLatches(id int64, tds []*TableData) {
+	if len(tds) == 0 {
+		return
+	}
+	s.lockMu.Lock()
+	for _, td := range tds {
+		if td.owner == id {
+			td.owner = 0
+		}
+	}
+	s.lockCond.Broadcast()
+	s.lockMu.Unlock()
+}
+
+// --- snapshots --------------------------------------------------------------
+
+// pinSnapshot registers a reader at the current published mark. The mark is
+// read inside snapMu so GC (which computes the oldest visible snapshot under
+// the same mutex) can never reclaim versions between the read and the
+// registration.
+func (s *Store) pinSnapshot() *snapMark {
+	s.snapMu.Lock()
+	m := s.published.Load()
+	s.snaps[m.ts]++
+	s.readers++
+	n := s.readers
+	s.snapMu.Unlock()
+	metrics.Default.Gauge("storage.snapshots_live").Set(float64(n))
+	return m
+}
+
+func (s *Store) unpinSnapshot(ts int64) {
+	s.snapMu.Lock()
+	if c := s.snaps[ts]; c <= 1 {
+		delete(s.snaps, ts)
+	} else {
+		s.snaps[ts] = c - 1
+	}
+	s.readers--
+	n := s.readers
+	s.snapMu.Unlock()
+	metrics.Default.Gauge("storage.snapshots_live").Set(float64(n))
+}
+
+// oldestVisible returns the oldest commit timestamp any live or future
+// snapshot can observe: the minimum over pinned snapshots and the current
+// published timestamp.
+func (s *Store) oldestVisible() int64 {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	oldest := s.published.Load().ts
+	for ts := range s.snaps {
+		if ts < oldest {
+			oldest = ts
+		}
+	}
+	return oldest
+}
+
+// --- version GC -------------------------------------------------------------
+
+// GC reclaims row versions that no live snapshot (nor any snapshot taken
+// from now on) can see, and the stale index entries that pointed at them.
+// It latches one table at a time, so it can run concurrently with normal
+// traffic. Returns the number of versions reclaimed; the total is also
+// published as the storage.versions_gc counter.
+func (s *Store) GC() int {
+	oldest := s.oldestVisible()
+	s.mu.RLock()
+	tds := make([]*TableData, 0, len(s.tables))
+	for _, td := range s.tables {
+		tds = append(tds, td)
+	}
+	s.mu.RUnlock()
+	id := s.nextTx.Add(1)
+	total := 0
+	for _, td := range tds {
+		if err := s.acquireLatch(id, td); err != nil {
+			continue // cannot deadlock: GC holds one latch at a time
+		}
+		total += td.gcLocked(oldest)
+		s.releaseLatches(id, []*TableData{td})
+	}
+	if total > 0 {
+		metrics.Default.Counter("storage.versions_gc").Add(int64(total))
+	}
+	return total
+}
+
+func (s *Store) maybeGC() {
+	if s.commits.Add(1)%gcInterval != 0 {
+		return
+	}
+	s.GC()
+}
+
+// --- transactions -----------------------------------------------------------
 
 // Txn is an open transaction. All reads and writes of table data must happen
 // between Begin and Commit/Abort.
@@ -85,25 +277,34 @@ type Txn struct {
 	id      int64
 	write   bool
 	done    bool
+	err     error // sticky: set by deadlock detection, surfaced at commit
+	snap    int64 // read transactions: pinned commit timestamp
+	asOfLSN LSN   // read transactions: WAL end consistent with snap
 	changes []ChangeRec // redo, for the WAL
 	undo    []undoRec
+	created []*version   // versions to stamp begin=commitTS
+	ended   []*version   // versions to stamp end=commitTS
+	latched []*TableData // latches held, released at commit/abort
 }
 
 type undoRec struct {
 	table *TableData
 	op    ChangeOp
 	rid   RowID
-	old   types.Row // for delete/update undo
+	v     *version // version created by this txn (insert/update)
+	old   *version // version ended by this txn (delete/update)
 }
 
-// Begin opens a transaction. write=true takes the exclusive lock.
+// Begin opens a transaction. Read transactions pin the current snapshot and
+// take no locks; write transactions latch tables lazily on first access.
 func (s *Store) Begin(write bool) *Txn {
-	if write {
-		s.mu.Lock()
-	} else {
-		s.mu.RLock()
+	t := &Txn{s: s, id: s.nextTx.Add(1), write: write}
+	if !write {
+		m := s.pinSnapshot()
+		t.snap = m.ts
+		t.asOfLSN = m.walEnd
 	}
-	return &Txn{s: s, id: atomic.AddInt64(&s.nextTx, 1), write: write}
+	return t
 }
 
 // ID returns the transaction id.
@@ -112,71 +313,61 @@ func (t *Txn) ID() int64 { return t.id }
 // IsWrite reports whether this is a write transaction.
 func (t *Txn) IsWrite() bool { return t.write }
 
+// Err returns the transaction's sticky error (e.g. ErrDeadlock), if any.
+// Once set, every subsequent operation fails and Commit aborts.
+func (t *Txn) Err() error { return t.err }
+
+// AsOfLSN returns, for a read transaction, the WAL position containing
+// exactly the logged transactions visible in its snapshot. The replication
+// layer uses it to pair a materialization scan with the log position to
+// resume from — without blocking writers during the scan.
+func (t *Txn) AsOfLSN() LSN {
+	if t.write {
+		return t.s.wal.End()
+	}
+	return t.asOfLSN
+}
+
 func (t *Txn) table(name string) (*TableData, error) {
+	t.s.mu.RLock()
 	td := t.s.tables[keyName(name)]
+	t.s.mu.RUnlock()
 	if td == nil {
 		return nil, fmt.Errorf("storage: table %s does not exist", name)
 	}
 	return td, nil
 }
 
-// Get returns table storage for reading within this transaction.
-func (t *Txn) Table(name string) *TableData {
-	return t.s.tables[keyName(name)]
-}
-
-// Insert adds a row to a table.
-func (t *Txn) Insert(table string, row types.Row) (RowID, error) {
-	if err := t.writable(); err != nil {
-		return 0, err
+// latch takes td's write latch on first touch; idempotent per transaction.
+func (t *Txn) latch(td *TableData) error {
+	for _, held := range t.latched {
+		if held == td {
+			return nil
+		}
 	}
-	td, err := t.table(table)
-	if err != nil {
-		return 0, err
-	}
-	rid, err := td.insert(row)
-	if err != nil {
-		return 0, err
-	}
-	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpInsert, After: row.Clone()})
-	t.undo = append(t.undo, undoRec{table: td, op: OpInsert, rid: rid})
-	return rid, nil
-}
-
-// Delete removes the row at rid.
-func (t *Txn) Delete(table string, rid RowID) error {
-	if err := t.writable(); err != nil {
+	if err := t.s.acquireLatch(t.id, td); err != nil {
+		t.err = err
 		return err
 	}
-	td, err := t.table(table)
-	if err != nil {
-		return err
-	}
-	old, err := td.delete(rid)
-	if err != nil {
-		return err
-	}
-	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpDelete, Before: old.Clone()})
-	t.undo = append(t.undo, undoRec{table: td, op: OpDelete, rid: rid, old: old})
+	t.latched = append(t.latched, td)
 	return nil
 }
 
-// Update replaces the row at rid.
-func (t *Txn) Update(table string, rid RowID, newRow types.Row) error {
-	if err := t.writable(); err != nil {
-		return err
-	}
-	td, err := t.table(table)
+// Table returns a view of the table under this transaction's visibility
+// rule, or nil if the table does not exist or the transaction hit a latch
+// deadlock (check Err). Write transactions latch the table on first access —
+// read or write — so everything they read is stable until commit.
+func (t *Txn) Table(name string) *TableView {
+	td, err := t.table(name)
 	if err != nil {
-		return err
+		return nil
 	}
-	old, err := td.update(rid, newRow)
-	if err != nil {
-		return err
+	if t.write && !t.done {
+		if err := t.latch(td); err != nil {
+			return nil
+		}
 	}
-	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpUpdate, Before: old.Clone(), After: newRow.Clone()})
-	t.undo = append(t.undo, undoRec{table: td, op: OpUpdate, rid: rid, old: old})
-	return nil
+	return &TableView{td: td, txn: t, snap: t.snap}
 }
 
 func (t *Txn) writable() error {
@@ -186,18 +377,82 @@ func (t *Txn) writable() error {
 	if !t.write {
 		return fmt.Errorf("storage: write in read-only transaction")
 	}
+	return t.err
+}
+
+func (t *Txn) tableForWrite(name string) (*TableData, error) {
+	if err := t.writable(); err != nil {
+		return nil, err
+	}
+	td, err := t.table(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.latch(td); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// Insert adds a row to a table.
+func (t *Txn) Insert(table string, row types.Row) (RowID, error) {
+	td, err := t.tableForWrite(table)
+	if err != nil {
+		return 0, err
+	}
+	rid, v, err := td.insertLocked(t.id, row)
+	if err != nil {
+		return 0, err
+	}
+	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpInsert, After: row.Clone()})
+	t.undo = append(t.undo, undoRec{table: td, op: OpInsert, rid: rid, v: v})
+	t.created = append(t.created, v)
+	return rid, nil
+}
+
+// Delete removes the row at rid.
+func (t *Txn) Delete(table string, rid RowID) error {
+	td, err := t.tableForWrite(table)
+	if err != nil {
+		return err
+	}
+	old, err := td.deleteLocked(t.id, rid)
+	if err != nil {
+		return err
+	}
+	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpDelete, Before: old.row.Clone()})
+	t.undo = append(t.undo, undoRec{table: td, op: OpDelete, rid: rid, old: old})
+	t.ended = append(t.ended, old)
+	return nil
+}
+
+// Update replaces the row at rid.
+func (t *Txn) Update(table string, rid RowID, newRow types.Row) error {
+	td, err := t.tableForWrite(table)
+	if err != nil {
+		return err
+	}
+	v, old, err := td.updateLocked(t.id, rid, newRow)
+	if err != nil {
+		return err
+	}
+	t.changes = append(t.changes, ChangeRec{Table: td.meta.Name, Op: OpUpdate, Before: old.row.Clone(), After: newRow.Clone()})
+	t.undo = append(t.undo, undoRec{table: td, op: OpUpdate, rid: rid, v: v, old: old})
+	t.created = append(t.created, v)
+	t.ended = append(t.ended, old)
 	return nil
 }
 
 // Commit finishes the transaction, logging its changes. The returned LSN is
-// 0 for read-only or changeless transactions. logged=false suppresses the
-// WAL append (used by the replication subscriber's apply path: replicated
-// changes must not re-enter the local log and echo back).
+// 0 for read-only or changeless transactions.
 func (t *Txn) Commit() (LSN, error) {
 	return t.commit(true)
 }
 
-// CommitUnlogged commits without writing the WAL.
+// CommitUnlogged commits without writing the WAL (used by the replication
+// subscriber's apply path: replicated changes must not re-enter the local
+// log and echo back). The commit timestamp still advances, so readers see
+// the applied batch atomically.
 func (t *Txn) CommitUnlogged() error {
 	_, err := t.commit(false)
 	return err
@@ -207,48 +462,70 @@ func (t *Txn) commit(logged bool) (LSN, error) {
 	if t.done {
 		return 0, fmt.Errorf("storage: transaction already finished")
 	}
+	if t.err != nil {
+		t.Abort()
+		return 0, t.err
+	}
 	t.done = true
+	if !t.write {
+		t.s.unpinSnapshot(t.snap)
+		return 0, nil
+	}
 	var lsn LSN
-	if t.write {
-		if logged && len(t.changes) > 0 {
-			lsn = t.s.wal.Append(t.id, time.Now(), t.changes)
+	if len(t.undo) > 0 {
+		s := t.s
+		s.commitMu.Lock()
+		ts := s.published.Load().ts + 1
+		for _, v := range t.created {
+			v.begin.Store(ts)
 		}
-		t.s.mu.Unlock()
-	} else {
-		t.s.mu.RUnlock()
+		for _, v := range t.ended {
+			v.end.Store(ts)
+		}
+		if logged && len(t.changes) > 0 {
+			lsn = s.wal.Append(t.id, time.Now(), t.changes)
+		}
+		// Publishing the mark is the commit point: after this single store,
+		// every new snapshot sees the whole transaction; none sees a part.
+		s.published.Store(&snapMark{ts: ts, walEnd: s.wal.End()})
+		s.commitMu.Unlock()
+	}
+	t.s.releaseLatches(t.id, t.latched)
+	if t.write && len(t.undo) > 0 {
+		t.s.maybeGC()
 	}
 	return lsn, nil
 }
 
-// Abort rolls back all changes made by the transaction.
+// Abort rolls back all changes made by the transaction: created versions are
+// unlinked, ended versions revived. Nothing was stamped with a commit
+// timestamp, so no snapshot ever observed any of it.
 func (t *Txn) Abort() {
 	if t.done {
 		return
 	}
 	t.done = true
-	if t.write {
-		for i := len(t.undo) - 1; i >= 0; i-- {
-			u := t.undo[i]
-			switch u.op {
-			case OpInsert:
-				// Ignore errors: the row must exist because we hold the lock.
-				_, _ = u.table.delete(u.rid)
-			case OpDelete:
-				// Restore into the same slot.
-				u.table.rows[u.rid] = u.old
-				u.table.count++
-				if n := len(u.table.free); n > 0 && u.table.free[n-1] == u.rid {
-					u.table.free = u.table.free[:n-1]
-				}
-				for _, id := range u.table.indexes {
-					id.tree.Insert(Item{Key: indexKey(u.old, id.meta.Columns), RID: u.rid})
-				}
-			case OpUpdate:
-				_, _ = u.table.update(u.rid, u.old)
-			}
-		}
-		t.s.mu.Unlock()
-	} else {
-		t.s.mu.RUnlock()
+	if !t.write {
+		t.s.unpinSnapshot(t.snap)
+		return
 	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		slot := u.table.slotAt(u.rid)
+		switch u.op {
+		case OpInsert:
+			slot.head.Store(u.v.next.Load())
+			u.table.removeEntriesFor(u.v.row, u.rid, nil)
+			if slot.head.Load() == nil {
+				u.table.free = append(u.table.free, u.rid)
+			}
+		case OpDelete:
+			u.old.end.Store(0)
+		case OpUpdate:
+			slot.head.Store(u.v.next.Load())
+			u.old.end.Store(0)
+			u.table.removeEntriesFor(u.v.row, u.rid, u.old.row)
+		}
+	}
+	t.s.releaseLatches(t.id, t.latched)
 }

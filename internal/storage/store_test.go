@@ -20,7 +20,7 @@ func custMeta() *catalog.Table {
 	}
 }
 
-func newCustStore(t *testing.T) *Store {
+func newCustStore(t testing.TB) *Store {
 	t.Helper()
 	s := NewStore()
 	if err := s.CreateTable(custMeta()); err != nil {
