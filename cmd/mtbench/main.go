@@ -8,10 +8,11 @@
 //	mtbench -experiment scaleout -servers 5 -items 1000 -customers 2880
 //	mtbench -experiment throughput -clients 16 -bench-json BENCH_multiplex.json
 //	mtbench -experiment mvcc -clients 8 -bench-json BENCH_mvcc.json
+//	mtbench -experiment parallel -parallel-rows 60000 -bench-json BENCH_parallel.json
 //
 // Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// throughput, mvcc, all ("all" excludes chaos, throughput and mvcc; run
-// them explicitly).
+// throughput, mvcc, parallel, all ("all" excludes chaos, throughput, mvcc
+// and parallel; run them explicitly).
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -40,6 +41,7 @@ func main() {
 		netDelay    = flag.Duration("net-delay", 2*time.Millisecond, "throughput: emulated link latency per forwarded chunk")
 		benchDur    = flag.Duration("bench-duration", 3*time.Second, "throughput: measurement window per mode")
 		benchJSON   = flag.String("bench-json", "", "throughput: write the result snapshot to this file as JSON")
+		parRows     = flag.Int("parallel-rows", 60000, "parallel: fact-table row count")
 	)
 	flag.Parse()
 	defer writeMetricsJSON(*metricsJSON)
@@ -62,6 +64,10 @@ func main() {
 	}
 	if *experiment == "mvcc" {
 		printMVCC(*clients, *benchDur, *benchJSON)
+		return
+	}
+	if *experiment == "parallel" {
+		printParallel(*parRows, *benchDur, *benchJSON)
 		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}

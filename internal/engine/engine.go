@@ -58,7 +58,7 @@ type Database struct {
 	remote exec.RemoteClient
 
 	planMu    sync.Mutex
-	planCache map[string]*opt.Plan
+	planCache *planLRU
 
 	// mvPlans caches compiled matview maintenance plans per view. It is
 	// per-database (a *catalog.Table key from one database must never serve
@@ -81,6 +81,10 @@ type Config struct {
 	Role    Role
 	Remote  exec.RemoteClient // backend link; required for Cache role
 	Options *opt.Options      // nil = opt.DefaultOptions
+
+	// PlanCacheCap bounds the number of cached plans; LRU eviction beyond
+	// it. 0 means defaultPlanCacheCap.
+	PlanCacheCap int
 }
 
 // New creates an empty database.
@@ -96,7 +100,7 @@ func New(cfg Config) *Database {
 		role:      cfg.Role,
 		opts:      opts,
 		remote:    cfg.Remote,
-		planCache: make(map[string]*opt.Plan),
+		planCache: newPlanLRU(cfg.PlanCacheCap),
 	}
 }
 
@@ -136,7 +140,7 @@ func (db *Database) SetStalenessProbe(fn func(view string) (float64, bool)) {
 // cache (after DDL or stats refresh).
 func (db *Database) InvalidatePlans() {
 	db.planMu.Lock()
-	db.planCache = make(map[string]*opt.Plan)
+	db.planCache.clear()
 	db.planMu.Unlock()
 	db.mvPlans.Range(func(k, _ any) bool {
 		db.mvPlans.Delete(k)
@@ -343,9 +347,11 @@ func (db *Database) Plan(stmt *sql.SelectStmt) (*opt.Plan, error) {
 // planCached is Plan plus a cache-hit indicator, feeding the
 // engine.plan_cache_hits / engine.plan_cache_misses counters.
 func (db *Database) planCached(stmt *sql.SelectStmt) (*opt.Plan, bool, error) {
-	key := sql.Deparse(stmt)
+	// CacheKey memoizes the deparsed text on the statement, so repeated
+	// executions of a prepared statement skip the deparse entirely.
+	key := stmt.CacheKey()
 	db.planMu.Lock()
-	if p, ok := db.planCache[key]; ok {
+	if p, ok := db.planCache.get(key); ok {
 		db.planMu.Unlock()
 		metrics.Default.Counter("engine.plan_cache_hits").Add(1)
 		return p, true, nil
@@ -357,7 +363,7 @@ func (db *Database) planCached(stmt *sql.SelectStmt) (*opt.Plan, bool, error) {
 		return nil, false, err
 	}
 	db.planMu.Lock()
-	db.planCache[key] = p
+	db.planCache.put(key, p)
 	db.planMu.Unlock()
 	return p, false, nil
 }
@@ -366,7 +372,7 @@ func (db *Database) planCached(stmt *sql.SelectStmt) (*opt.Plan, bool, error) {
 func (db *Database) PlanCacheSize() int {
 	db.planMu.Lock()
 	defer db.planMu.Unlock()
-	return len(db.planCache)
+	return db.planCache.len()
 }
 
 // RunPlan executes a previously produced plan. The operator tree is cloned

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"container/list"
+
+	"mtcache/internal/metrics"
+	"mtcache/internal/opt"
+)
+
+// defaultPlanCacheCap bounds the per-database plan cache when Config leaves
+// PlanCacheCap zero. Distinct query texts beyond the cap evict the least
+// recently used plan (counted by engine.plan_cache_evictions), so ad-hoc
+// query churn cannot grow the cache without limit.
+const defaultPlanCacheCap = 256
+
+// planLRU is the bounded plan cache. Not self-locking: the Database guards
+// it with planMu.
+type planLRU struct {
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key  string
+	plan *opt.Plan
+}
+
+func newPlanLRU(cap int) *planLRU {
+	if cap <= 0 {
+		cap = defaultPlanCacheCap
+	}
+	return &planLRU{cap: cap, items: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *planLRU) get(key string) (*opt.Plan, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+func (c *planLRU) put(key string, p *opt.Plan) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&planEntry{key: key, plan: p})
+	for len(c.items) > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*planEntry).key)
+		metrics.Default.Counter("engine.plan_cache_evictions").Add(1)
+	}
+}
+
+func (c *planLRU) clear() {
+	c.items = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+func (c *planLRU) len() int { return len(c.items) }

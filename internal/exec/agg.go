@@ -143,47 +143,54 @@ type HashAgg struct {
 
 func (h *HashAgg) Columns() []ColInfo { return h.Cols }
 
-func (h *HashAgg) Open(ctx *Ctx) error {
-	if err := h.Input.Open(ctx); err != nil {
-		return err
+// aggGroup is one group's accumulated state, shared by HashAgg and the
+// per-worker PartialAgg.
+type aggGroup struct {
+	keys   types.Row
+	states []*aggState
+}
+
+// aggregateInput opens, drains and closes input, grouping rows by the
+// groupBy expressions and feeding the aggregate states. Groups come back in
+// first-seen order. With no groupBy, one global group exists even for empty
+// input.
+func aggregateInput(ctx *Ctx, input Operator, groupBy []Expr, aggs []AggSpec) ([]*aggGroup, error) {
+	if err := input.Open(ctx); err != nil {
+		return nil, err
 	}
-	type group struct {
-		keys   types.Row
-		states []*aggState
-	}
-	groups := make(map[uint64][]*group)
-	var order []*group
-	newGroup := func(keys types.Row) *group {
-		g := &group{keys: keys, states: make([]*aggState, len(h.Aggs))}
+	groups := make(map[uint64][]*aggGroup)
+	var order []*aggGroup
+	newGroup := func(keys types.Row) *aggGroup {
+		g := &aggGroup{keys: keys, states: make([]*aggState, len(aggs))}
 		for i := range g.states {
 			g.states[i] = newAggState()
 		}
 		order = append(order, g)
 		return g
 	}
-	if len(h.GroupBy) == 0 {
+	if len(groupBy) == 0 {
 		// Global aggregate: one group exists even with zero input rows.
 		// Register it under the empty row's hash so per-row lookups find it.
-		groups[(types.Row{}).Hash()] = []*group{newGroup(types.Row{})}
+		groups[(types.Row{}).Hash()] = []*aggGroup{newGroup(types.Row{})}
 	}
 	for {
-		row, err := h.Input.Next(ctx)
+		row, err := input.Next(ctx)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if row == nil {
 			break
 		}
-		keys := make(types.Row, len(h.GroupBy))
-		for i, e := range h.GroupBy {
+		keys := make(types.Row, len(groupBy))
+		for i, e := range groupBy {
 			v, err := e.Eval(row, ctx.Params)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			keys[i] = v
 		}
 		hash := keys.Hash()
-		var g *group
+		var g *aggGroup
 		for _, cand := range groups[hash] {
 			if types.RowsEqual(cand.keys, keys) {
 				g = cand
@@ -194,18 +201,26 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 			g = newGroup(keys)
 			groups[hash] = append(groups[hash], g)
 		}
-		for i, spec := range h.Aggs {
+		for i, spec := range aggs {
 			var v types.Value
 			if spec.Arg != nil {
 				v, err = spec.Arg.Eval(row, ctx.Params)
 				if err != nil {
-					return err
+					return nil, err
 				}
 			}
 			g.states[i].add(spec, v)
 		}
 	}
-	h.Input.Close()
+	input.Close()
+	return order, nil
+}
+
+func (h *HashAgg) Open(ctx *Ctx) error {
+	order, err := aggregateInput(ctx, h.Input, h.GroupBy, h.Aggs)
+	if err != nil {
+		return err
+	}
 	h.out = h.out[:0]
 	for _, g := range order {
 		row := make(types.Row, 0, len(g.keys)+len(h.Aggs))

@@ -39,6 +39,15 @@ func Instrument(op Operator) *Instrumented {
 		x.Input = Instrument(x.Input)
 	case *HashAgg:
 		x.Input = Instrument(x.Input)
+	case *TopN:
+		x.Input = Instrument(x.Input)
+	case *FinalAgg:
+		x.Input = Instrument(x.Input)
+	case *Exchange:
+		// Deliberately not descending into the template: workers execute
+		// private clones, so template-side shells would never see a row.
+		// The Exchange's own shell carries the gathered totals and the
+		// per-worker counts come from WorkerRows.
 	case *HashJoin:
 		x.Left = Instrument(x.Left)
 		x.Right = Instrument(x.Right)

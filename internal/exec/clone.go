@@ -12,9 +12,9 @@ import "fmt"
 func CloneOperator(op Operator) Operator {
 	switch x := op.(type) {
 	case *Scan:
-		return &Scan{TableName: x.TableName, Cols: x.Cols}
+		return &Scan{TableName: x.TableName, Cols: x.Cols, Parallel: x.Parallel}
 	case *IndexScan:
-		return &IndexScan{TableName: x.TableName, IndexName: x.IndexName, Cols: x.Cols, Lo: x.Lo, Hi: x.Hi}
+		return &IndexScan{TableName: x.TableName, IndexName: x.IndexName, Cols: x.Cols, Lo: x.Lo, Hi: x.Hi, Parallel: x.Parallel, EstRows: x.EstRows}
 	case *Filter:
 		return &Filter{Input: CloneOperator(x.Input), Pred: x.Pred}
 	case *StartupFilter:
@@ -32,6 +32,7 @@ func CloneOperator(op Operator) Operator {
 			Left: CloneOperator(x.Left), Right: CloneOperator(x.Right),
 			LeftKeys: x.LeftKeys, RightKeys: x.RightKeys,
 			LeftOuter: x.LeftOuter, Residual: x.Residual, BuildEst: x.BuildEst,
+			ShareBuild: x.ShareBuild,
 		}
 	case *NestedLoop:
 		return &NestedLoop{
@@ -46,6 +47,16 @@ func CloneOperator(op Operator) Operator {
 		return &UnionAll{Inputs: inputs}
 	case *HashAgg:
 		return &HashAgg{Input: CloneOperator(x.Input), GroupBy: x.GroupBy, Aggs: x.Aggs, Cols: x.Cols}
+	case *PartialAgg:
+		return &PartialAgg{Input: CloneOperator(x.Input), GroupBy: x.GroupBy, Aggs: x.Aggs, Cols: x.Cols}
+	case *FinalAgg:
+		return &FinalAgg{Input: CloneOperator(x.Input), GroupKeys: x.GroupKeys, Aggs: x.Aggs, Cols: x.Cols}
+	case *TopN:
+		return &TopN{Input: CloneOperator(x.Input), Keys: x.Keys, N: x.N}
+	case *Exchange:
+		// The template is cloned too: each execution then binds partitions
+		// and shared builds on a private tree.
+		return &Exchange{Template: CloneOperator(x.Template), DOP: x.DOP}
 	case *Remote:
 		return &Remote{SQLText: x.SQLText, Cols: x.Cols}
 	case *Values:

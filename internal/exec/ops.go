@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -54,9 +56,10 @@ type Ctx struct {
 	Txn      *storage.Txn
 	Remote   RemoteClient
 	Counters *Counters
-	Span     *trace.Span // execute-stage span, nil when tracing is off
-	TraceID  string      // propagated to the backend on DataTransfer
-	EstRows  float64     // optimizer output-cardinality estimate, 0 if unknown
+	Span     *trace.Span     // execute-stage span, nil when tracing is off
+	TraceID  string          // propagated to the backend on DataTransfer
+	EstRows  float64         // optimizer output-cardinality estimate, 0 if unknown
+	Context  context.Context // optional cancellation signal; nil means none
 }
 
 // maxPrealloc caps estimate-driven allocations: estimates can be off by
@@ -108,14 +111,18 @@ func Run(op Operator, ctx *Ctx) (*ResultSet, error) {
 
 // ---------------------------------------------------------------- Scan
 
-// Scan is a full table scan.
+// Scan is a full table scan. When Parallel is set the optimizer chose this
+// scan as an Exchange partitioning point: the Exchange binds each worker
+// clone to a disjoint heap-slot range before Open.
 type Scan struct {
 	TableName string
 	Cols      []ColInfo
+	Parallel  bool // Exchange partitions this scan across workers
 
-	td  *storage.TableView
-	pos int
-	cap int
+	td   *storage.TableView
+	pos  int
+	cap  int
+	part *storage.SlotRange // worker's slot range, nil = whole heap
 }
 
 func (s *Scan) Columns() []ColInfo { return s.Cols }
@@ -130,6 +137,12 @@ func (s *Scan) Open(ctx *Ctx) error {
 	}
 	s.pos = 0
 	s.cap = s.td.Cap()
+	if s.part != nil {
+		s.pos = s.part.Lo
+		if s.part.Hi < s.cap {
+			s.cap = s.part.Hi
+		}
+	}
 	return nil
 }
 
@@ -158,11 +171,22 @@ type IndexScan struct {
 	TableName string
 	IndexName string // "__pk" for the primary key index
 	Cols      []ColInfo
-	Lo, Hi    []Expr // prefix bounds; nil slices mean unbounded
+	Lo, Hi    []Expr  // prefix bounds; nil slices mean unbounded
+	Parallel  bool    // Exchange partitions this scan across workers
+	EstRows   float64 // optimizer estimate of matched rows, for DOP costing
 
 	rids []storage.RowID
 	td   *storage.TableView
 	pos  int
+	part *indexPart // worker's key range, nil = whole index
+}
+
+// indexPart is one worker's index key range [lo, hi): full-key bounds cut at
+// SeparatorKeys, nil meaning open. empty marks a worker with no range (more
+// workers than separator-delimited partitions).
+type indexPart struct {
+	lo, hi types.Row
+	empty  bool
 }
 
 func (s *IndexScan) Columns() []ColInfo { return s.Cols }
@@ -188,6 +212,36 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 		return err
 	}
 	s.rids = s.rids[:0]
+	if s.part != nil {
+		// Partitioned scan: intersect the query bounds with the worker's key
+		// range. Start at the larger of the two lower bounds (an entry
+		// qualifies iff it is >= both, i.e. >= the max in tree order); stop
+		// at the partition's exclusive upper separator or past the query's
+		// inclusive prefix bound, whichever comes first.
+		if s.part.empty {
+			s.pos = 0
+			return nil
+		}
+		start := s.part.lo
+		if lo != nil && (start == nil || types.CompareRows(lo, start) > 0) {
+			start = lo
+		}
+		tree.AscendPartition(start, s.part.hi, func(it storage.Item) bool {
+			if hi != nil {
+				pk := it.Key
+				if len(hi) < len(pk) {
+					pk = pk[:len(hi)]
+				}
+				if types.CompareRows(pk, hi) > 0 {
+					return false
+				}
+			}
+			s.rids = append(s.rids, it.RID)
+			return true
+		})
+		s.pos = 0
+		return nil
+	}
 	collect := func(it storage.Item) bool {
 		s.rids = append(s.rids, it.RID)
 		return true
@@ -470,6 +524,130 @@ func (s *Sort) Close() error {
 	return s.Input.Close()
 }
 
+// ---------------------------------------------------------------- TopN
+
+// TopN is Sort+Limit fused: it keeps only the N smallest rows under the sort
+// order in a bounded heap instead of materializing and fully sorting the
+// input. Ties resolve by input arrival order, so the output is exactly what
+// the stable Sort + Limit pipeline it replaces would produce.
+type TopN struct {
+	Input Operator
+	Keys  []SortKey
+	N     Expr // evaluated at Open; non-positive yields no rows
+
+	rows []types.Row
+	pos  int
+}
+
+func (s *TopN) Columns() []ColInfo { return s.Input.Columns() }
+
+// topEntry carries a row, its evaluated sort keys, and the input sequence
+// number used as the stability tiebreak.
+type topEntry struct {
+	row  types.Row
+	keys types.Row
+	seq  int64
+}
+
+// topHeap is a max-heap under the sort order: the root is the worst row
+// currently kept, the one a better incoming row evicts.
+type topHeap struct {
+	entries []topEntry
+	keys    []SortKey
+}
+
+func (h *topHeap) cmp(a, b topEntry) int {
+	for k := range h.keys {
+		c := types.Compare(a.keys[k], b.keys[k])
+		if h.keys[k].Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	switch {
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
+func (h *topHeap) Len() int           { return len(h.entries) }
+func (h *topHeap) Less(i, j int) bool { return h.cmp(h.entries[i], h.entries[j]) > 0 }
+func (h *topHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *topHeap) Push(x any)         { h.entries = append(h.entries, x.(topEntry)) }
+func (h *topHeap) Pop() any {
+	last := h.entries[len(h.entries)-1]
+	h.entries = h.entries[:len(h.entries)-1]
+	return last
+}
+
+func (s *TopN) Open(ctx *Ctx) error {
+	if err := s.Input.Open(ctx); err != nil {
+		return err
+	}
+	nv, err := s.N.Eval(nil, ctx.Params)
+	if err != nil {
+		return err
+	}
+	n := nv.Int()
+	s.rows = nil
+	s.pos = 0
+	if n <= 0 {
+		return nil
+	}
+	h := &topHeap{keys: s.Keys}
+	var seq int64
+	for {
+		row, err := s.Input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys := make(types.Row, len(s.Keys))
+		for i, k := range s.Keys {
+			v, err := k.E.Eval(row, ctx.Params)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		e := topEntry{row: row, keys: keys, seq: seq}
+		seq++
+		if int64(h.Len()) < n {
+			heap.Push(h, e)
+		} else if h.cmp(e, h.entries[0]) < 0 {
+			h.entries[0] = e
+			heap.Fix(h, 0)
+		}
+	}
+	sort.Slice(h.entries, func(i, j int) bool { return h.cmp(h.entries[i], h.entries[j]) < 0 })
+	s.rows = make([]types.Row, len(h.entries))
+	for i, e := range h.entries {
+		s.rows[i] = e.row
+	}
+	return nil
+}
+
+func (s *TopN) Next(*Ctx) (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *TopN) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}
+
 // ---------------------------------------------------------------- Joins
 
 // HashJoin is an equi-join. The right (build) side is hashed; the left side
@@ -480,8 +658,10 @@ type HashJoin struct {
 	LeftOuter           bool // LEFT JOIN: unmatched left rows padded with NULLs
 	Residual            Expr
 	BuildEst            float64 // optimizer estimate of build-side rows, 0 if unknown
+	ShareBuild          bool    // Exchange installs one shared build table across workers
 
 	table   map[uint64][]types.Row
+	shared  *sharedBuild // when set, the build runs once and is read by all workers
 	pending []types.Row
 	cols    []ColInfo
 }
@@ -494,31 +674,52 @@ func (j *HashJoin) Columns() []ColInfo {
 }
 
 func (j *HashJoin) Open(ctx *Ctx) error {
-	if err := j.Right.Open(ctx); err != nil {
-		return err
-	}
-	j.table = make(map[uint64][]types.Row, preallocSize(j.BuildEst, 1<<16))
-	for {
-		row, err := j.Right.Next(ctx)
+	if j.shared != nil {
+		// Parallel probe: the first worker in materializes the build side
+		// once; everyone reads the same immutable table.
+		table, err := j.shared.get(ctx)
 		if err != nil {
 			return err
+		}
+		j.table = table
+	} else {
+		table, err := buildHashTable(ctx, j.Right, j.RightKeys, j.BuildEst)
+		if err != nil {
+			return err
+		}
+		j.table = table
+	}
+	j.pending = nil
+	return j.Left.Open(ctx)
+}
+
+// buildHashTable opens, drains and closes the build side into a hash table
+// keyed by the join-key hash. Rows with NULL keys are dropped (they never
+// join).
+func buildHashTable(ctx *Ctx, build Operator, keys []Expr, est float64) (map[uint64][]types.Row, error) {
+	if err := build.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer build.Close()
+	table := make(map[uint64][]types.Row, preallocSize(est, 1<<16))
+	for {
+		row, err := build.Next(ctx)
+		if err != nil {
+			return nil, err
 		}
 		if row == nil {
-			break
+			return table, nil
 		}
-		key, null, err := evalKeys(j.RightKeys, row, ctx.Params)
+		key, null, err := evalKeys(keys, row, ctx.Params)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if null {
 			continue // NULL keys never join
 		}
 		h := key.Hash()
-		j.table[h] = append(j.table[h], row)
+		table[h] = append(table[h], row)
 	}
-	j.Right.Close()
-	j.pending = nil
-	return j.Left.Open(ctx)
 }
 
 func evalKeys(keys []Expr, row types.Row, p Params) (types.Row, bool, error) {

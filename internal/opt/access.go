@@ -302,6 +302,7 @@ func (pl *planner) indexPath(t *catalog.Table, storageName string, scanCols []ex
 	}
 	var op exec.Operator = &exec.IndexScan{
 		TableName: storageName, IndexName: bestIdx.Name, Cols: scanCols, Lo: loE, Hi: hiE,
+		EstRows: matched,
 	}
 	cost := costSeekBase + matched*costSeekRow
 	card := matched

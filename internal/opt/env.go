@@ -76,6 +76,18 @@ type Options struct {
 	// view matches, use it unconditionally instead of cost-comparing with
 	// the remote plan.
 	AlwaysUseCache bool
+
+	// MaxDOP caps intra-query parallelism. The effective cap is
+	// min(MaxDOP, GOMAXPROCS); values < 2 disable parallel plans entirely,
+	// so a serial plan stays byte-identical to the pre-parallelism planner
+	// output.
+	MaxDOP int
+
+	// ParallelStartupCost is the per-worker cost of starting an Exchange
+	// (goroutine + partition binding + channel traffic floor). Parallelism
+	// is chosen only when the pipeline cost it divides outweighs this, so
+	// small lookups stay serial.
+	ParallelStartupCost float64
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -87,6 +99,8 @@ func DefaultOptions() Options {
 		EnableDynamicPlans:  true,
 		PullUpChoosePlan:    true,
 		AllowMixedResults:   true,
+		MaxDOP:              8,
+		ParallelStartupCost: 400,
 	}
 }
 
@@ -157,4 +171,6 @@ const (
 	costSortFactor = 0.3 // × n·log₂(n)
 	costAggRow     = 1.1
 	costAggGroup   = 0.6
+
+	costExchangeRow = 0.05 // per row gathered through an Exchange channel
 )

@@ -79,11 +79,22 @@ func opLine(op exec.Operator) string {
 		return "Top"
 	case *exec.Sort:
 		return "Sort"
+	case *exec.TopN:
+		return "TopNSort"
 	case *exec.Distinct:
 		return "Distinct"
 	case *exec.HashAgg:
 		return fmt.Sprintf("HashAggregate groups=%d aggs=%d", len(x.GroupBy), len(x.Aggs))
+	case *exec.PartialAgg:
+		return fmt.Sprintf("PartialAggregate groups=%d aggs=%d", len(x.GroupBy), len(x.Aggs))
+	case *exec.FinalAgg:
+		return fmt.Sprintf("FinalAggregate groups=%d aggs=%d", x.GroupKeys, len(x.Aggs))
+	case *exec.Exchange:
+		return fmt.Sprintf("Gather (Exchange dop=%d)", x.DOP)
 	case *exec.HashJoin:
+		if x.ShareBuild {
+			return "HashJoin (shared build)"
+		}
 		if x.LeftOuter {
 			return "HashLeftJoin"
 		}
@@ -117,10 +128,18 @@ func opChildren(op exec.Operator) []exec.Operator {
 		return []exec.Operator{x.Input}
 	case *exec.Sort:
 		return []exec.Operator{x.Input}
+	case *exec.TopN:
+		return []exec.Operator{x.Input}
 	case *exec.Distinct:
 		return []exec.Operator{x.Input}
 	case *exec.HashAgg:
 		return []exec.Operator{x.Input}
+	case *exec.PartialAgg:
+		return []exec.Operator{x.Input}
+	case *exec.FinalAgg:
+		return []exec.Operator{x.Input}
+	case *exec.Exchange:
+		return []exec.Operator{x.Template}
 	case *exec.HashJoin:
 		return []exec.Operator{x.Left, x.Right}
 	case *exec.NestedLoop:
@@ -159,6 +178,15 @@ func analyzeRec(b *strings.Builder, op exec.Operator, depth int) {
 					line += " [executed]"
 				} else {
 					line += " [pruned]"
+				}
+			}
+			if ex, isEx := inner.(*exec.Exchange); isEx {
+				if wr := ex.WorkerRows(); len(wr) > 0 {
+					parts := make([]string, len(wr))
+					for i, n := range wr {
+						parts[i] = fmt.Sprint(n)
+					}
+					line += fmt.Sprintf(" worker_rows=[%s]", strings.Join(parts, " "))
 				}
 			}
 		}

@@ -200,6 +200,14 @@ func collectRemote(op exec.Operator, out *[]string) {
 		collectRemote(x.Input, out)
 	case *exec.HashAgg:
 		collectRemote(x.Input, out)
+	case *exec.PartialAgg:
+		collectRemote(x.Input, out)
+	case *exec.FinalAgg:
+		collectRemote(x.Input, out)
+	case *exec.TopN:
+		collectRemote(x.Input, out)
+	case *exec.Exchange:
+		collectRemote(x.Template, out)
 	case *exec.HashJoin:
 		collectRemote(x.Left, out)
 		collectRemote(x.Right, out)
@@ -299,6 +307,14 @@ func (pl *planner) planBlock(orig *sql.SelectStmt, root bool) (*plan, error) {
 	cs, err := pl.planBlockSet(orig)
 	if err != nil {
 		return nil, err
+	}
+	// Degree of parallelism is a physical property decided before the
+	// DataLocation comparison: a parallelized local pipeline is cheaper, so
+	// it can win plans that would otherwise ship to the backend. Dynamic
+	// (ChoosePlan) candidates stay serial — their branches are chosen at
+	// run time, after DOP would have to be fixed.
+	if root && cs.local != nil && cs.local.dyn == nil {
+		cs.local = pl.parallelize(cs.local)
 	}
 	// Pick the winner: compare the local candidate against the remote
 	// candidate plus its transfer cost.

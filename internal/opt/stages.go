@@ -138,7 +138,10 @@ func (pl *planner) applyStagesLocal(p *plan, stmt *sql.SelectStmt) (*plan, error
 		cur.cost += cur.card * costAggRow
 		cur.card = math.Max(cur.card*0.5, 1)
 	}
-	if sortAfter && len(sorts) > 0 {
+	// TOP n over an adjacent ORDER BY fuses into a bounded top-N heap
+	// instead of a full materializing sort under a Limit.
+	fuseTop := stmt.Top != nil && sortAfter && len(sorts) > 0
+	if sortAfter && len(sorts) > 0 && !fuseTop {
 		op, err := addSort(cur.op, postScope)
 		if err != nil {
 			return nil, err
@@ -150,7 +153,25 @@ func (pl *planner) applyStagesLocal(p *plan, stmt *sql.SelectStmt) (*plan, error
 		if err != nil {
 			return nil, err
 		}
-		cur.op = &exec.Limit{Input: cur.op, N: n}
+		if fuseTop {
+			var keys []exec.SortKey
+			for _, s := range sorts {
+				e, err := compileExpr(s.e, postScope)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, exec.SortKey{E: e, Desc: s.desc})
+			}
+			// A heap of min(card, n) entries replaces the full sort.
+			heapSize := cur.card
+			if lit, ok := stmt.Top.(*sql.Literal); ok {
+				heapSize = math.Min(heapSize, float64(lit.Val.Int()))
+			}
+			cur.cost += cur.card * math.Log2(heapSize+2) * costSortFactor
+			cur.op = &exec.TopN{Input: cur.op, Keys: keys, N: n}
+		} else {
+			cur.op = &exec.Limit{Input: cur.op, N: n}
+		}
 		if lit, ok := stmt.Top.(*sql.Literal); ok {
 			cur.card = math.Min(cur.card, float64(lit.Val.Int()))
 		}

@@ -2,6 +2,8 @@ package repl
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -93,6 +95,115 @@ func TestNoTornReadsDuringApply(t *testing.T) {
 	}
 
 	// Publisher: one transaction per generation.
+	deadline := time.Now().Add(time.Second)
+	for g := 1; time.Now().Before(deadline); g++ {
+		stmt := fmt.Sprintf("UPDATE item SET i_cost = %d WHERE i_id > 0", 1000+g)
+		if _, err := pub.Exec(stmt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-tornCh:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestNoTornReadsDuringApplyParallelScan is the intra-query-parallel variant
+// of the torn-read test: the reader's aggregate runs as a Gather over
+// partitioned scan workers, all sharing one pinned snapshot, while the
+// distribution agent concurrently applies whole-generation updates. Partition
+// bounds are computed once at Open from that snapshot, so no worker may ever
+// observe a half-applied generation — min must equal max in every result.
+func TestNoTornReadsDuringApplyParallelScan(t *testing.T) {
+	const rows = 1500
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	pub := newPublisher(t, rows)
+	subDB := newSubscriberTable(t, "cache")
+	srv := NewServer(pub)
+	art, err := srv.EnsureArticle("item", []string{"i_id", "i_title", "i_cost"}, filterCost(t, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Exec("UPDATE item SET i_cost = 1000 WHERE i_id > 0", nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := srv.Subscribe(art, subDB, "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stats + a low startup cost make the optimizer pick a parallel plan for
+	// the 1500-row aggregate even though the table is modest.
+	if err := subDB.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	opts := subDB.Options()
+	opts.MaxDOP = 4
+	opts.ParallelStartupCost = 10
+	subDB.SetOptions(opts)
+
+	const q = "SELECT MIN(i_cost), MAX(i_cost), COUNT(*) FROM tgt"
+	plan, err := subDB.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Gather (Exchange dop=") {
+		t.Fatalf("reader plan is not parallel:\n%s", plan)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			srv.RunLogReader()
+			if _, err := srv.RunDistribution(sub); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	tornCh := make(chan string, 8)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := subDB.Exec(q, nil)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				lo, hi := res.Rows[0][0].Float(), res.Rows[0][1].Float()
+				n := res.Rows[0][2].Int()
+				if lo != hi || n != rows {
+					select {
+					case tornCh <- fmt.Sprintf("torn parallel read: min=%g max=%g count=%d (want %d)", lo, hi, n, rows):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
 	deadline := time.Now().Add(time.Second)
 	for g := 1; time.Now().Before(deadline); g++ {
 		stmt := fmt.Sprintf("UPDATE item SET i_cost = %d WHERE i_id > 0", 1000+g)

@@ -9,6 +9,8 @@
 package sql
 
 import (
+	"sync/atomic"
+
 	"mtcache/internal/types"
 )
 
@@ -32,6 +34,23 @@ type SelectStmt struct {
 	// no declared bound (any replication staleness is acceptable, the
 	// paper's default caching behaviour).
 	Freshness Expr
+
+	// cacheKey memoizes Deparse(s) for plan-cache lookups; see CacheKey.
+	cacheKey atomic.Pointer[string]
+}
+
+// CacheKey returns the statement's plan-cache key — its deparsed SQL text —
+// computing it at most once per statement. Repeated executions of a prepared
+// statement then skip the deparse on the hot query path. Callers must not
+// mutate the statement after the first CacheKey call; the planner already
+// clones statements before rewriting them.
+func (s *SelectStmt) CacheKey() string {
+	if p := s.cacheKey.Load(); p != nil {
+		return *p
+	}
+	k := Deparse(s)
+	s.cacheKey.Store(&k)
+	return k
 }
 
 // SelectItem is one output column of a SELECT.

@@ -1,0 +1,126 @@
+package storage
+
+import "mtcache/internal/types"
+
+// Range-partitioned scan APIs: split one pinned snapshot into disjoint
+// partitions so N parallel workers can scan without any coordination. Heap
+// partitions are contiguous slot ranges; index partitions are key ranges cut
+// at B-tree separator keys taken from the pinned root. Both views read the
+// same immutable snapshot, so partition bounds computed once stay valid for
+// the whole scan: slots only grow (new slots are invisible to the snapshot)
+// and version GC never reclaims what a live snapshot can see.
+
+// SlotRange is a half-open heap-slot interval [Lo, Hi).
+type SlotRange struct {
+	Lo, Hi int
+}
+
+// SlotPartitions splits the heap's slot space [0, Cap()) into at most n
+// contiguous half-open ranges of near-equal size. Every visible row lives in
+// exactly one range; ranges may also cover empty or invisible slots.
+func (tv *TableView) SlotPartitions(n int) []SlotRange {
+	total := tv.Cap()
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]SlotRange, 0, n)
+	chunk := (total + n - 1) / n
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		out = append(out, SlotRange{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// ScanRange calls fn for every row visible in slots [lo, hi), in slot order.
+// It stops early if fn returns false.
+func (tv *TableView) ScanRange(lo, hi int, fn func(RowID, types.Row) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if c := tv.Cap(); hi > c {
+		hi = c
+	}
+	for i := lo; i < hi; i++ {
+		if row := tv.At(i); row != nil {
+			if !fn(RowID(i), row) {
+				return
+			}
+		}
+	}
+}
+
+// SeparatorKeys returns up to n-1 sorted keys that cut the pinned index into
+// at most n key ranges of roughly equal entry counts. The separators come
+// from the top one or two levels of the pinned root, so the call is O(fanout)
+// regardless of index size. Partition i covers [sep[i-1], sep[i]) with the
+// first partition open below and the last open above; AscendPartition
+// iterates one such range.
+func (iv *IndexView) SeparatorKeys(n int) []types.Row {
+	if n <= 1 || iv.root == nil {
+		return nil
+	}
+	var cand []types.Row
+	if iv.root.leaf() {
+		for _, it := range iv.root.items {
+			cand = append(cand, it.Key)
+		}
+	} else {
+		// In-order walk of the top two levels: child items interleaved with
+		// the root's own separator items keeps candidates sorted.
+		for i, ch := range iv.root.children {
+			for _, it := range ch.items {
+				cand = append(cand, it.Key)
+			}
+			if i < len(iv.root.items) {
+				cand = append(cand, iv.root.items[i].Key)
+			}
+		}
+	}
+	// Drop duplicate keys (non-unique indexes) so no partition is empty by
+	// construction.
+	var keys []types.Row
+	for _, k := range cand {
+		if len(keys) == 0 || types.CompareRows(keys[len(keys)-1], k) != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) <= n-1 {
+		return keys
+	}
+	out := make([]types.Row, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, keys[i*len(keys)/n])
+	}
+	return out
+}
+
+// AscendPartition visits visible index entries with keys in [lo, hi), in key
+// order. A nil lo means from the start, a nil hi means to the end. Unlike
+// AscendRange, the upper bound is exclusive and compared on the full key
+// (shorter bounds exclude all entries sharing the prefix), which is what
+// makes partitions cut at SeparatorKeys disjoint: entry k goes to the first
+// partition whose upper separator is > k.
+func (iv *IndexView) AscendPartition(lo, hi types.Row, fn func(Item) bool) {
+	visit := iv.filtered(fn)
+	bounded := func(it Item) bool {
+		if hi != nil && types.CompareRows(it.Key, hi) >= 0 {
+			return false
+		}
+		return visit(it)
+	}
+	if lo == nil {
+		iv.root.ascend(Item{}, false, bounded)
+		return
+	}
+	iv.root.ascend(Item{Key: lo, RID: -1 << 62}, true, bounded)
+}

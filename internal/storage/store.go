@@ -277,9 +277,9 @@ type Txn struct {
 	id      int64
 	write   bool
 	done    bool
-	err     error // sticky: set by deadlock detection, surfaced at commit
-	snap    int64 // read transactions: pinned commit timestamp
-	asOfLSN LSN   // read transactions: WAL end consistent with snap
+	err     error       // sticky: set by deadlock detection, surfaced at commit
+	snap    int64       // read transactions: pinned commit timestamp
+	asOfLSN LSN         // read transactions: WAL end consistent with snap
 	changes []ChangeRec // redo, for the WAL
 	undo    []undoRec
 	created []*version   // versions to stamp begin=commitTS
