@@ -3,6 +3,12 @@
 // deployment, §3 figure 1).
 //
 //	backend-server -addr 127.0.0.1:7000 -items 1000 -customers 2880
+//
+// With -data-dir the backend is durable: commits are journaled to a
+// segmented WAL (group commit by default; see -sync), the heap is
+// checkpointed periodically, and a restart over the same directory recovers
+// the committed state from the latest checkpoint plus the log tail instead
+// of regenerating the dataset.
 package main
 
 import (
@@ -25,17 +31,67 @@ func main() {
 		items     = flag.Int("items", 500, "TPC-W item count")
 		customers = flag.Int("customers", 1000, "TPC-W customer count")
 		empty     = flag.Bool("empty", false, "start with an empty server (no TPC-W data)")
+
+		dataDir   = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory")
+		syncMode  = flag.String("sync", "group", "WAL sync policy: always, group, interval, none")
+		syncEvery = flag.Duration("sync-interval", 5*time.Millisecond, "fsync cadence for -sync interval")
+		segMB     = flag.Int("segment-mb", 8, "WAL segment size in MiB")
+		ckptEvery = flag.Int("checkpoint-every", 10000, "automatic checkpoint after this many commits (0 disables)")
+		ckptTick  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 disables)")
 	)
 	flag.Parse()
 
-	backend := mtcache.NewBackend("backend")
-	if !*empty {
-		cfg := tpcw.Config{Items: *items, Customers: *customers, OrdersPerCustomer: 0.9, Seed: 20030609}
-		log.Printf("loading TPC-W (%d items, %d customers)...", cfg.Items, cfg.Customers)
-		if err := tpcw.Load(backend, cfg); err != nil {
+	var backend *mtcache.Backend
+	if *dataDir == "" {
+		backend = mtcache.NewBackend("backend")
+		if !*empty {
+			loadTPCW(backend, *items, *customers)
+		}
+	} else {
+		if *empty {
+			log.Fatal("-empty is incompatible with -data-dir: a durable server's contents come from its log")
+		}
+		policy, err := mtcache.ParseSyncPolicy(*syncMode)
+		if err != nil {
 			log.Fatal(err)
 		}
+		resume := mtcache.HasDurableState(*dataDir)
+		backend, err = mtcache.NewBackendDurable("backend", mtcache.DurabilityOptions{
+			Dir:             *dataDir,
+			Policy:          policy,
+			Interval:        *syncEvery,
+			SegmentBytes:    int64(*segMB) << 20,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resume {
+			// DDL is unlogged: recreate the schema, then rebuild the data
+			// from the latest checkpoint plus the WAL tail.
+			if err := tpcw.CreateSchema(backend); err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			stats, err := backend.DB.Recover()
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("recovered in %v: checkpoint LSN %d (%d rows), %d txns replayed (torn tail: %v, CRC errors: %d)",
+				time.Since(start).Round(time.Millisecond), stats.CheckpointLSN, stats.CheckpointRows,
+				stats.ReplayedTxns, stats.TornTail, stats.CRCErrors)
+		} else {
+			loadTPCW(backend, *items, *customers)
+			// The bulk load is unlogged; checkpoint immediately so the
+			// dataset itself is durable before the first commit.
+			if _, err := backend.DB.Checkpoint(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("initial checkpoint written to %s", *dataDir)
+		}
+		defer backend.DB.CloseStore()
 	}
+
 	// The log reader and distribution agents serve in-process subscribers;
 	// TCP caches pull, so only the reader cadence matters here.
 	backend.StartReplication(100*time.Millisecond, 100*time.Millisecond)
@@ -58,8 +114,41 @@ func main() {
 		fmt.Printf("observability on http://%s/metrics\n", bound)
 	}
 
+	stopCkpt := make(chan struct{})
+	if *dataDir != "" && *ckptTick > 0 {
+		go func() {
+			t := time.NewTicker(*ckptTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if _, err := backend.DB.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopCkpt)
+	if *dataDir != "" {
+		// A final checkpoint makes the next boot's replay trivial.
+		if _, err := backend.DB.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+	}
 	fmt.Println("\nshutting down")
+}
+
+func loadTPCW(backend *mtcache.Backend, items, customers int) {
+	cfg := tpcw.Config{Items: items, Customers: customers, OrdersPerCustomer: 0.9, Seed: 20030609}
+	log.Printf("loading TPC-W (%d items, %d customers)...", cfg.Items, cfg.Customers)
+	if err := tpcw.Load(backend, cfg); err != nil {
+		log.Fatal(err)
+	}
 }

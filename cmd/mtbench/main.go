@@ -9,10 +9,11 @@
 //	mtbench -experiment throughput -clients 16 -bench-json BENCH_multiplex.json
 //	mtbench -experiment mvcc -clients 8 -bench-json BENCH_mvcc.json
 //	mtbench -experiment parallel -parallel-rows 60000 -bench-json BENCH_parallel.json
+//	mtbench -experiment recovery -clients 16 -bench-json BENCH_recovery.json
 //
 // Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// throughput, mvcc, parallel, all ("all" excludes chaos, throughput, mvcc
-// and parallel; run them explicitly).
+// throughput, mvcc, parallel, recovery, all ("all" excludes chaos,
+// throughput, mvcc, parallel and recovery; run them explicitly).
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -68,6 +69,10 @@ func main() {
 	}
 	if *experiment == "parallel" {
 		printParallel(*parRows, *benchDur, *benchJSON)
+		return
+	}
+	if *experiment == "recovery" {
+		printRecovery(*clients, *benchDur, *benchJSON)
 		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}

@@ -51,6 +51,12 @@ func (s *serialClient) Provision(table string, columns []string, filter, subName
 	return s.c.Provision(table, columns, filter, subName)
 }
 
+func (s *serialClient) Resume(table string, columns []string, filter, subName string, fromLSN storage.LSN) (int, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Resume(table, columns, filter, subName, fromLSN)
+}
+
 func (s *serialClient) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

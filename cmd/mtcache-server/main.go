@@ -10,8 +10,12 @@
 // queries without a freshness bound are answered from the (possibly stale)
 // cached views.
 //
+// With -data-dir the cache checkpoints its cached views and pull cursors to
+// disk; on restart the views restore from the checkpoint and resume their
+// change streams at the checkpointed LSN instead of reseeding over the wire.
+//
 // Shell commands: any SQL statement (including EXPLAIN [ANALYZE] <query>);
-// \explain <query>; \trace; \pull; \metrics; \quit.
+// \explain <query>; \trace; \pull; \checkpoint; \metrics; \quit.
 //
 // The server also exposes an observability endpoint (-http, default
 // 127.0.0.1:8344): /metrics in Prometheus text format, /metrics.json, and
@@ -47,6 +51,8 @@ func main() {
 		retries     = flag.Int("retries", 0, "max attempts per backend request (0 = default policy)")
 		timeout     = flag.Duration("timeout", 0, "per-request deadline (0 = default policy)")
 		pool        = flag.Int("pool", 0, "multiplexed backend connections in the pool (0 = default policy)")
+		dataDir     = flag.String("data-dir", "", "cache checkpoint directory; restarts resume cached views at the checkpointed LSN instead of reseeding")
+		ckptTick    = flag.Duration("checkpoint-interval", 30*time.Second, "periodic cache checkpoint cadence with -data-dir (0 disables)")
 	)
 	flag.Parse()
 
@@ -66,7 +72,7 @@ func main() {
 	}
 	defer client.Close()
 
-	cache, err := mtcache.NewRemoteCache(*name, client, nil)
+	cache, err := mtcache.NewRemoteCacheDurable(*name, client, nil, *dataDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,6 +88,33 @@ func main() {
 	}
 	cache.StartPulling(*pull)
 	defer cache.StopPulling()
+
+	stopCkpt := make(chan struct{})
+	if *dataDir != "" {
+		// A final checkpoint on the way out captures the freshest cursors.
+		defer func() {
+			close(stopCkpt)
+			if err := cache.Checkpoint(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+		}()
+		if *ckptTick > 0 {
+			go func() {
+				t := time.NewTicker(*ckptTick)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopCkpt:
+						return
+					case <-t.C:
+						if err := cache.Checkpoint(); err != nil {
+							log.Printf("checkpoint: %v", err)
+						}
+					}
+				}
+			}()
+		}
+	}
 
 	if *httpAddr != "" {
 		bound, closeHTTP, err := obs.Serve(*httpAddr, nil, nil)
@@ -100,7 +133,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("type SQL statements; \\explain <q>, \\trace, \\pull, \\metrics, \\quit")
+	fmt.Println("type SQL statements; \\explain <q>, \\trace, \\pull, \\checkpoint, \\metrics, \\quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -115,6 +148,12 @@ func main() {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Printf("applied %d transactions\n", n)
+			}
+		case line == `\checkpoint`:
+			if err := cache.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("cache checkpoint written")
 			}
 		case line == `\metrics`:
 			if s := metrics.Default.String(); s == "" {

@@ -29,6 +29,7 @@ import (
 	"mtcache/internal/opt"
 	"mtcache/internal/repl"
 	"mtcache/internal/sql"
+	"mtcache/internal/storage"
 )
 
 // BackendServer is the authoritative database plus its replication runtime.
@@ -41,6 +42,18 @@ type BackendServer struct {
 func NewBackend(name string) *BackendServer {
 	db := engine.New(engine.Config{Name: name, Role: engine.Backend})
 	return &BackendServer{DB: db, Repl: repl.NewServer(db)}
+}
+
+// NewBackendDurable creates a backend whose store journals commits to an
+// on-disk WAL (group commit, checkpoints) in opts.Dir. When the directory
+// holds state from a previous run, recreate the schema and call
+// DB.Recover() before serving.
+func NewBackendDurable(name string, opts storage.DurabilityOptions) (*BackendServer, error) {
+	db, err := engine.Open(engine.Config{Name: name, Role: engine.Backend, Durability: &opts})
+	if err != nil {
+		return nil, err
+	}
+	return &BackendServer{DB: db, Repl: repl.NewServer(db)}, nil
 }
 
 // Exec runs a statement on the backend.

@@ -85,6 +85,11 @@ type Config struct {
 	// PlanCacheCap bounds the number of cached plans; LRU eviction beyond
 	// it. 0 means defaultPlanCacheCap.
 	PlanCacheCap int
+
+	// Durability, when non-nil, backs the store with an on-disk WAL in the
+	// given directory (see storage.DurabilityOptions). Only honored by Open;
+	// New ignores it because enabling durability can fail.
+	Durability *storage.DurabilityOptions
 }
 
 // New creates an empty database.
@@ -103,6 +108,43 @@ func New(cfg Config) *Database {
 		planCache: newPlanLRU(cfg.PlanCacheCap),
 	}
 }
+
+// Open is New plus durability: when cfg.Durability is set the store's WAL
+// becomes a segmented on-disk log (group commit, checkpoints) rooted at
+// cfg.Durability.Dir. The caller recreates the schema (DDL is unlogged) and
+// then calls Recover to rebuild state from the latest checkpoint plus the
+// log tail.
+func Open(cfg Config) (*Database, error) {
+	db := New(cfg)
+	if cfg.Durability != nil {
+		if err := db.store.EnableDurability(*cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Recover rebuilds a durable database's state from its latest checkpoint and
+// WAL tail. The schema must already have been recreated. Refreshes optimizer
+// statistics for every recovered table.
+func (db *Database) Recover() (*storage.RecoveryStats, error) {
+	stats, err := db.store.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Analyze(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// Checkpoint snapshots the heap to the durable data directory, bounding both
+// recovery replay time and WAL disk growth.
+func (db *Database) Checkpoint() (storage.LSN, error) { return db.store.Checkpoint() }
+
+// CloseStore flushes and closes the durable log (no-op for an in-memory
+// database).
+func (db *Database) CloseStore() error { return db.store.Close() }
 
 // Catalog exposes the catalog (read-mostly; DDL goes through Exec).
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mtcache/internal/engine"
+	"mtcache/internal/metrics"
 	"mtcache/internal/storage"
 	"mtcache/internal/types"
 )
@@ -66,6 +67,37 @@ func (s *Server) SubscribeRemote(a *Article, name string, startLSN storage.LSN) 
 	s.subs = append(s.subs, sub)
 	s.mu.Unlock()
 	return sub
+}
+
+// ResumeRemote re-creates a queue-only subscription for a subscriber that
+// restarted with durable state as of startLSN (its last checkpointed apply
+// position + 1). It succeeds only when the publisher's WAL still retains
+// every record from startLSN on — then the log reader is rewound so the
+// stream replays from there and the subscriber skips the full reseed. When
+// the WAL has been truncated past startLSN the gap is unrecoverable and the
+// caller must fall back to a fresh snapshot (SnapshotRows + SubscribeRemote).
+func (s *Server) ResumeRemote(a *Article, name string, startLSN storage.LSN) (*Subscription, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wal := s.publisher.Store().WAL()
+	if startLSN < wal.First() || startLSN > wal.End() {
+		metrics.Default.Counter("repl.resume_misses").Add(1)
+		return nil, false
+	}
+	sub := &Subscription{
+		Name:    name,
+		Article: a,
+		nextLSN: startLSN,
+	}
+	// Rewind the log reader so the next pass re-reads from the resume point;
+	// other subscriptions' nextLSN cursors make re-delivered records no-ops
+	// for them.
+	if startLSN < s.readerLSN {
+		s.readerLSN = startLSN
+	}
+	s.subs = append(s.subs, sub)
+	metrics.Default.Counter("repl.resubscribes").Add(1)
+	return sub, true
 }
 
 // ResetRemote rewinds a remote subscription to a fresh snapshot point:

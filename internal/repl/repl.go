@@ -356,9 +356,17 @@ func (s *Server) RunLogReader() int {
 	}
 	for _, rec := range recs {
 		for _, sub := range subs {
+			sub.mu.Lock()
 			if sub.nextLSN > rec.LSN {
+				sub.mu.Unlock()
 				continue // already included in this subscription's snapshot
 			}
+			// Advance the per-subscription cursor record by record (not once
+			// per pass): it is this subscription's resume point after a
+			// subscriber restart, and the truncation floor that keeps records
+			// a resumed subscription still needs in the WAL.
+			sub.nextLSN = rec.LSN + 1
+			sub.mu.Unlock()
 			filtered := filterTxn(sub.Article, rec)
 			if len(filtered) == 0 {
 				continue
@@ -429,6 +437,12 @@ func (s *Server) truncate() {
 		sub.mu.Lock()
 		if len(sub.queue) > 0 && sub.queue[0].lsn < min {
 			min = sub.queue[0].lsn
+		}
+		// A subscription that has not consumed up to the reader yet — or was
+		// just rewound by ResumeRemote — still needs everything from its own
+		// cursor onward, queued or not.
+		if sub.nextLSN < min {
+			min = sub.nextLSN
 		}
 		sub.mu.Unlock()
 	}

@@ -58,8 +58,16 @@ type Store struct {
 	published atomic.Pointer[snapMark]
 
 	snapMu  sync.Mutex // guards snaps/readers; pin reads published inside it
-	snaps   map[int64]int
+	snaps   map[int64]*snapRef
 	readers int
+
+	// Durability state (nil/zero on a purely in-memory store).
+	durable       *diskWAL
+	durOpts       DurabilityOptions
+	openStats     walOpenStats // torn-tail/CRC findings from opening the log
+	ckptLSN       atomic.Int64 // WAL position of the latest heap checkpoint
+	loggedCommits atomic.Int64 // commits since open, drives auto-checkpoints
+	ckptBusy      atomic.Bool  // one automatic checkpoint at a time
 
 	lockMu   sync.Mutex // lock manager: table latch owners + wait-for graph
 	lockCond *sync.Cond
@@ -73,7 +81,7 @@ func NewStore() *Store {
 	s := &Store{
 		tables:  make(map[string]*TableData),
 		wal:     NewWAL(),
-		snaps:   make(map[int64]int),
+		snaps:   make(map[int64]*snapRef),
 		waitFor: make(map[int64]*TableData),
 	}
 	s.lockCond = sync.NewCond(&s.lockMu)
@@ -188,6 +196,14 @@ func (s *Store) releaseLatches(id int64, tds []*TableData) {
 
 // --- snapshots --------------------------------------------------------------
 
+// snapRef tracks the readers pinned at one commit timestamp, plus the WAL
+// position their snapshot pairs with — the truncation floor must keep every
+// record a pinned snapshot's AsOfLSN may still resume from.
+type snapRef struct {
+	count  int
+	walEnd LSN
+}
+
 // pinSnapshot registers a reader at the current published mark. The mark is
 // read inside snapMu so GC (which computes the oldest visible snapshot under
 // the same mutex) can never reclaim versions between the read and the
@@ -195,7 +211,11 @@ func (s *Store) releaseLatches(id int64, tds []*TableData) {
 func (s *Store) pinSnapshot() *snapMark {
 	s.snapMu.Lock()
 	m := s.published.Load()
-	s.snaps[m.ts]++
+	if r := s.snaps[m.ts]; r != nil {
+		r.count++
+	} else {
+		s.snaps[m.ts] = &snapRef{count: 1, walEnd: m.walEnd}
+	}
 	s.readers++
 	n := s.readers
 	s.snapMu.Unlock()
@@ -205,10 +225,12 @@ func (s *Store) pinSnapshot() *snapMark {
 
 func (s *Store) unpinSnapshot(ts int64) {
 	s.snapMu.Lock()
-	if c := s.snaps[ts]; c <= 1 {
-		delete(s.snaps, ts)
-	} else {
-		s.snaps[ts] = c - 1
+	if r := s.snaps[ts]; r != nil {
+		if r.count <= 1 {
+			delete(s.snaps, ts)
+		} else {
+			r.count--
+		}
 	}
 	s.readers--
 	n := s.readers
@@ -231,6 +253,31 @@ func (s *Store) oldestVisible() int64 {
 	return oldest
 }
 
+// retainFloor returns the smallest LSN WAL truncation must keep: the minimum
+// of every pinned snapshot's WAL position and, on a durable store, the last
+// checkpoint LSN (recovery replays from there; with no checkpoint yet the
+// whole log is the recovery source and nothing may be dropped).
+func (s *Store) retainFloor() LSN {
+	s.snapMu.Lock()
+	floor := s.published.Load().walEnd
+	for _, r := range s.snaps {
+		if r.walEnd < floor {
+			floor = r.walEnd
+		}
+	}
+	s.snapMu.Unlock()
+	if s.durable != nil {
+		ck := LSN(s.ckptLSN.Load())
+		if ck == 0 {
+			ck = s.wal.First()
+		}
+		if ck < floor {
+			floor = ck
+		}
+	}
+	return floor
+}
+
 // --- version GC -------------------------------------------------------------
 
 // GC reclaims row versions that no live snapshot (nor any snapshot taken
@@ -249,11 +296,18 @@ func (s *Store) GC() int {
 	id := s.nextTx.Add(1)
 	total := 0
 	for _, td := range tds {
+		if td.deadHint.Load() == 0 {
+			continue // nothing ended since the last scan: no garbage possible
+		}
 		if err := s.acquireLatch(id, td); err != nil {
 			continue // cannot deadlock: GC holds one latch at a time
 		}
-		total += td.gcLocked(oldest)
+		pruned := td.gcLocked(oldest)
+		// Subtract only what was reclaimed: garbage pinned by a live snapshot
+		// keeps the hint positive, so the next GC round retries this table.
+		td.deadHint.Add(-int64(pruned))
 		s.releaseLatches(id, []*TableData{td})
+		total += pruned
 	}
 	if total > 0 {
 		metrics.Default.Counter("storage.versions_gc").Add(int64(total))
@@ -472,6 +526,7 @@ func (t *Txn) commit(logged bool) (LSN, error) {
 		return 0, nil
 	}
 	var lsn LSN
+	var syncErr error
 	if len(t.undo) > 0 {
 		s := t.s
 		s.commitMu.Lock()
@@ -485,12 +540,38 @@ func (t *Txn) commit(logged bool) (LSN, error) {
 		if logged && len(t.changes) > 0 {
 			lsn = s.wal.Append(t.id, time.Now(), t.changes)
 		}
+		if lsn > 0 && s.durable != nil && s.durable.policy == SyncAlways {
+			// Strict WAL: the record reaches disk before the commit becomes
+			// visible to anyone else — one fsync per commit, serialized by
+			// commitMu. This is the baseline group commit is measured against.
+			syncErr = s.durable.flush(true)
+		}
 		// Publishing the mark is the commit point: after this single store,
 		// every new snapshot sees the whole transaction; none sees a part.
 		s.published.Store(&snapMark{ts: ts, walEnd: s.wal.End()})
 		s.commitMu.Unlock()
+		// Each superseded/deleted version is future garbage; the hint lets GC
+		// skip tables with nothing to reclaim. Counted before the latches
+		// drop so a concurrent GC of this table cannot miss it.
+		for i := range t.undo {
+			if t.undo[i].op != OpInsert {
+				t.undo[i].table.deadHint.Add(1)
+			}
+		}
 	}
 	t.s.releaseLatches(t.id, t.latched)
+	if lsn > 0 && t.s.durable != nil {
+		if t.s.durable.policy == SyncGroup {
+			// Group commit: visibility is already published and the latches
+			// are gone, so concurrent committers pile onto the same pending
+			// fsync; the syncer's next fsync releases the whole group.
+			syncErr = t.s.durable.waitDurable(lsn)
+		}
+		if syncErr != nil {
+			return lsn, syncErr
+		}
+		t.s.maybeCheckpoint()
+	}
 	if t.write && len(t.undo) > 0 {
 		t.s.maybeGC()
 	}
@@ -528,4 +609,109 @@ func (t *Txn) Abort() {
 		}
 	}
 	t.s.releaseLatches(t.id, t.latched)
+}
+
+// --- durability -------------------------------------------------------------
+
+// EnableDurability attaches a segmented on-disk log to the store. It must be
+// called on a fresh store (before any logged commit); opening an existing
+// directory loads the retained commit records into the in-memory WAL so
+// Recover can replay them and resumed subscribers can re-read them. The
+// heaps stay empty until Recover runs.
+func (s *Store) EnableDurability(opts DurabilityOptions) error {
+	if s.durable != nil {
+		return errors.New("storage: durability already enabled")
+	}
+	if s.wal.Len() > 0 || s.wal.End() != 1 {
+		return errors.New("storage: durability must be enabled on a fresh store")
+	}
+	d, recs, ckptLSN, stats, err := openDiskWAL(opts)
+	if err != nil {
+		return err
+	}
+	next := LSN(1)
+	if len(recs) > 0 {
+		next = recs[len(recs)-1].LSN + 1
+	}
+	if ckptLSN+1 > next {
+		// A checkpoint can outlive every WAL record (log fully truncated);
+		// LSNs must keep ascending across the restart.
+		next = ckptLSN + 1
+	}
+	s.wal.adopt(recs, next, d)
+	s.wal.retain = s.retainFloor
+	s.durable = d
+	s.durOpts = opts
+	s.openStats = stats
+	s.ckptLSN.Store(int64(ckptLSN))
+	s.published.Store(&snapMark{ts: 0, walEnd: s.wal.End()})
+	d.start()
+	return nil
+}
+
+// Durable reports whether the store has an on-disk log.
+func (s *Store) Durable() bool { return s.durable != nil }
+
+// SyncedLSN reports the highest LSN the on-disk log has fsynced (0 when the
+// store is not durable). Race tests assert on it.
+func (s *Store) SyncedLSN() LSN {
+	if s.durable == nil {
+		return 0
+	}
+	return s.durable.DurableLSN()
+}
+
+// Sync forces buffered log records to disk (used by SyncInterval/SyncNone
+// stores before a planned shutdown, and by checkpoints).
+func (s *Store) Sync() error {
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.flush(true)
+}
+
+// Close flushes and closes the on-disk log. The store itself remains usable
+// for reads; further logged commits fail.
+func (s *Store) Close() error {
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.Close()
+}
+
+// maybeCheckpoint triggers an automatic background checkpoint every
+// CheckpointEvery logged commits.
+func (s *Store) maybeCheckpoint() {
+	every := int64(s.durOpts.CheckpointEvery)
+	if every <= 0 || s.loggedCommits.Add(1)%every != 0 {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptBusy.Store(false)
+		s.Checkpoint() //nolint:errcheck — best effort; the next trigger retries
+	}()
+}
+
+// HasDurableState reports whether dir holds a prior store's log or
+// checkpoint (the recover-on-boot decision). fsys nil means the OS.
+func HasDurableState(fsys FS, dir string) bool {
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, name := range names {
+		if _, ok := parseSeqName(name, "wal-", ".seg"); ok {
+			return true
+		}
+		if _, ok := parseSeqName(name, "ckpt-", ".ckpt"); ok {
+			return true
+		}
+	}
+	return false
 }

@@ -80,6 +80,11 @@ type TableData struct {
 	slots   atomic.Pointer[[]*rowSlot]
 	indexes atomic.Pointer[map[string]*indexData]
 
+	// deadHint counts versions whose end has been stamped since the last GC
+	// scan — an upper bound on reclaimable garbage. GC skips tables whose
+	// hint is zero, so insert-only tables never pay the full-heap scan.
+	deadHint atomic.Int64
+
 	// Latch-guarded state (see Store's lock manager): the heap free list and
 	// the current latch owner. owner/waiters bookkeeping lives in Store.
 	free  []RowID

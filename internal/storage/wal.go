@@ -60,6 +60,15 @@ type WAL struct {
 	recs  []CommitRecord
 	first LSN // LSN of recs[0]
 	next  LSN
+
+	// disk, when set, mirrors every appended record to a segmented on-disk
+	// log (see walfile.go). The in-memory records remain the read path.
+	disk *diskWAL
+
+	// retain, when set, returns the truncation floor: the smallest LSN that
+	// must be kept for recovery (checkpoint LSN) and live snapshots.
+	// Truncate clamps to it.
+	retain func() LSN
 }
 
 // NewWAL returns an empty log whose first LSN is 1.
@@ -73,8 +82,30 @@ func (w *WAL) Append(txnID int64, commitTime time.Time, changes []ChangeRec) LSN
 	defer w.mu.Unlock()
 	lsn := w.next
 	w.next++
-	w.recs = append(w.recs, CommitRecord{LSN: lsn, TxnID: txnID, CommitTime: commitTime, Changes: changes})
+	rec := CommitRecord{LSN: lsn, TxnID: txnID, CommitTime: commitTime, Changes: changes}
+	w.recs = append(w.recs, rec)
+	if w.disk != nil {
+		// Buffer the frame under the same mutex that assigned the LSN, so
+		// the disk log receives records in LSN order. A sticky disk error
+		// surfaces on the commit path's durability wait, not here.
+		w.disk.append(&rec) //nolint:errcheck
+	}
 	return lsn
+}
+
+// adopt installs records recovered from disk (EnableDurability on an
+// existing directory). nextLSN is the LSN the next append must get.
+func (w *WAL) adopt(recs []CommitRecord, nextLSN LSN, disk *diskWAL) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.recs = recs
+	if len(recs) > 0 {
+		w.first = recs[0].LSN
+	} else {
+		w.first = nextLSN
+	}
+	w.next = nextLSN
+	w.disk = disk
 }
 
 // ReadFrom returns up to max commit records with LSN >= from, in order.
@@ -96,11 +127,20 @@ func (w *WAL) ReadFrom(from LSN, max int) []CommitRecord {
 	return append([]CommitRecord(nil), out...)
 }
 
-// Truncate discards records with LSN < upTo.
+// Truncate discards records with LSN < upTo. On a durable store upTo is
+// clamped to the retention floor — the minimum of the last checkpoint LSN
+// and every pinned snapshot's WAL position — so recovery and live readers
+// never lose records they still need; truncation of the on-disk log is
+// segment-granular (whole segments strictly below the clamped floor).
 func (w *WAL) Truncate(upTo LSN) {
+	if w.retain != nil {
+		if floor := w.retain(); floor < upTo {
+			upTo = floor
+		}
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if upTo <= w.first {
+		w.mu.Unlock()
 		return
 	}
 	if upTo > w.next {
@@ -108,6 +148,18 @@ func (w *WAL) Truncate(upTo LSN) {
 	}
 	w.recs = append([]CommitRecord(nil), w.recs[upTo-w.first:]...)
 	w.first = upTo
+	disk := w.disk
+	w.mu.Unlock()
+	if disk != nil {
+		disk.dropSegmentsBelow(upTo)
+	}
+}
+
+// First returns the LSN of the oldest retained record (== End when empty).
+func (w *WAL) First() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.first
 }
 
 // End returns the LSN the next commit will receive.

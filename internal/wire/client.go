@@ -291,6 +291,26 @@ func (c *Client) Provision(table string, columns []string, filter, subName strin
 	return resp.SubID, resp.StartLSN, resp.Rows, nil
 }
 
+// Resume re-creates a pull subscription for a subscriber restarting with
+// durable state: the change stream continues from fromLSN (the first LSN the
+// subscriber has not applied) with no initial population. ok is false — with
+// no error — when the backend cannot serve that position anymore (its WAL
+// was truncated past it, or it lost the subscription state and the log);
+// the caller must then fall back to Provision for a full reseed. Resume is
+// idempotent: repeating it reattaches to the same subscription.
+func (c *Client) Resume(table string, columns []string, filter, subName string, fromLSN storage.LSN) (subID int, ok bool, err error) {
+	resp, err := c.roundTrip(&request{
+		Kind: reqResume, Table: table, Columns: columns, Filter: filter, SubName: subName, FromLSN: fromLSN,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.SubID < 0 {
+		return 0, false, nil
+	}
+	return resp.SubID, true, nil
+}
+
 // Pull returns up to max pending transactions for a subscription, first
 // acknowledging (deleting) every batch at or below ack. Returned batches
 // stay queued on the backend until a later Pull acknowledges them, so a

@@ -14,6 +14,7 @@ import (
 	"mtcache/internal/repl"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
+	"mtcache/internal/types"
 )
 
 // RemoteCache is an MTCache server connected to its backend over TCP. It
@@ -40,6 +41,13 @@ type RemoteCache struct {
 	pulls  []pullSub
 	stopCh chan struct{}
 	wg     sync.WaitGroup
+
+	// Durable-cache state (nil/empty for a purely in-memory cache). recovered
+	// holds the loaded checkpoint's per-view state until the view's
+	// provisioning hook consumes it: a view found there resumes its
+	// subscription at the checkpointed LSN instead of reseeding.
+	dataDir   string
+	recovered map[string]*cacheViewState
 }
 
 type pullSub struct {
@@ -54,8 +62,36 @@ type pullSub struct {
 // performs the shadow setup over the wire and registers the cached-view
 // hook.
 func NewRemoteCache(name string, client BackendClient, options *opt.Options) (*RemoteCache, error) {
+	return newRemoteCache(name, client, options, "")
+}
+
+// NewRemoteCacheDurable is NewRemoteCache plus a data directory the cache
+// checkpoints its state to (see Checkpoint). When the directory already
+// holds a checkpoint from a previous run, cached views re-created with the
+// same definitions restore their rows from it and resume their change
+// streams at the checkpointed LSN — no reseed over the wire — as long as the
+// backend still retains that log position.
+func NewRemoteCacheDurable(name string, client BackendClient, options *opt.Options, dataDir string) (*RemoteCache, error) {
+	return newRemoteCache(name, client, options, dataDir)
+}
+
+func newRemoteCache(name string, client BackendClient, options *opt.Options, dataDir string) (*RemoteCache, error) {
 	db := engine.New(engine.Config{Name: name, Role: engine.Cache, Remote: client, Options: options})
-	rc := &RemoteCache{DB: db, client: client, reg: metrics.Default}
+	rc := &RemoteCache{DB: db, client: client, reg: metrics.Default, dataDir: dataDir}
+	if dataDir != "" {
+		ck, err := loadCacheCheckpoint(dataDir)
+		if err != nil {
+			// A damaged checkpoint costs a reseed, never correctness: the
+			// backend is the source of truth.
+			metrics.Default.Counter("wire.cache_ckpt_errors").Add(1)
+		} else if ck != nil {
+			rc.recovered = make(map[string]*cacheViewState, len(ck.Views))
+			for i := range ck.Views {
+				v := &ck.Views[i]
+				rc.recovered[strings.ToLower(v.Name)] = v
+			}
+		}
+	}
 	data, err := client.Snapshot()
 	if err != nil {
 		return nil, err
@@ -84,16 +120,17 @@ func NewRemoteCache(name string, client BackendClient, options *opt.Options) (*R
 	return rc, nil
 }
 
-func (rc *RemoteCache) provision(view *catalog.Table) error {
+// viewSource extracts the (table, columns, filter) a cached view publishes
+// over, shared by the provision and resume paths.
+func viewSource(view *catalog.Table) (table string, cols []string, filter string, err error) {
 	def := view.ViewDef
 	if len(def.From) != 1 {
-		return fmt.Errorf("wire: cached views must be select-project over one table")
+		return "", nil, "", fmt.Errorf("wire: cached views must be select-project over one table")
 	}
 	tn, ok := def.From[0].(*sql.TableName)
 	if !ok {
-		return fmt.Errorf("wire: cached view source must be a table or materialized view")
+		return "", nil, "", fmt.Errorf("wire: cached view source must be a table or materialized view")
 	}
-	var cols []string
 	for _, item := range def.Columns {
 		if item.Star {
 			cols = nil
@@ -101,22 +138,69 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 		}
 		ref, ok := item.Expr.(*sql.ColumnRef)
 		if !ok {
-			return fmt.Errorf("wire: cached views may project only plain columns")
+			return "", nil, "", fmt.Errorf("wire: cached views may project only plain columns")
 		}
 		cols = append(cols, ref.Name)
 	}
-	filter := ""
 	if def.Where != nil {
 		filter = sql.DeparseExpr(def.Where)
 	}
-	subID, startLSN, rows, err := rc.client.Provision(tn.Name, cols, filter, rc.DB.Name+"."+view.Name)
+	return tn.Name, cols, filter, nil
+}
+
+func (rc *RemoteCache) provision(view *catalog.Table) error {
+	table, cols, filter, err := viewSource(view)
 	if err != nil {
 		return err
 	}
-	// Initial population.
+	subName := rc.DB.Name + "." + view.Name
+
+	// A view present in the loaded checkpoint tries to resume its change
+	// stream at the checkpointed position before falling back to a reseed.
+	// Resume is attempted before any population: on a miss there is nothing
+	// to undo.
+	if st, ok := rc.recovered[strings.ToLower(view.Name)]; ok {
+		delete(rc.recovered, strings.ToLower(view.Name))
+		subID, resumed, rerr := rc.client.Resume(table, cols, filter, subName, st.LastLSN+1)
+		if rerr == nil && resumed {
+			if err := rc.populate(view.Name, st.Rows); err != nil {
+				return err
+			}
+			rc.reg.Counter("wire.view_resumed").Add(1)
+			rc.mu.Lock()
+			rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: st.LastLSN})
+			rc.mu.Unlock()
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+		// resumed == false: the backend cannot serve the checkpointed
+		// position anymore; fall through to a fresh snapshot.
+	}
+
+	subID, startLSN, rows, err := rc.client.Provision(table, cols, filter, subName)
+	if err != nil {
+		return err
+	}
+	if err := rc.populate(view.Name, rows); err != nil {
+		return err
+	}
+	rc.reg.Counter("wire.view_seeded").Add(1)
+	rc.mu.Lock()
+	// startLSN is the first LSN the change stream will produce; lastLSN holds
+	// the highest LSN already applied, so seed it one below the stream start.
+	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: startLSN - 1})
+	rc.mu.Unlock()
+	return nil
+}
+
+// populate bulk-inserts a view's initial rows (from a backend snapshot or a
+// local checkpoint) and refreshes its statistics.
+func (rc *RemoteCache) populate(view string, rows []types.Row) error {
 	tx := rc.DB.Store().Begin(true)
 	for _, row := range rows {
-		if _, err := tx.Insert(view.Name, row); err != nil {
+		if _, err := tx.Insert(view, row); err != nil {
 			tx.Abort()
 			return err
 		}
@@ -124,15 +208,7 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 	if err := tx.CommitUnlogged(); err != nil {
 		return err
 	}
-	if err := rc.DB.AnalyzeTable(view.Name); err != nil {
-		return err
-	}
-	rc.mu.Lock()
-	// startLSN is the first LSN the change stream will produce; lastLSN holds
-	// the highest LSN already applied, so seed it one below the stream start.
-	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: startLSN - 1})
-	rc.mu.Unlock()
-	return nil
+	return rc.DB.AnalyzeTable(view)
 }
 
 // CreateCachedView runs a CREATE CACHED VIEW statement.
@@ -237,6 +313,40 @@ func (rc *RemoteCache) LastLSN(view string) storage.LSN {
 		}
 	}
 	return 0
+}
+
+// Checkpoint writes the cache's durable state file: every subscribed view's
+// rows plus the LSN they are current through. It runs under pullMu so no
+// pull round is half-applied — the rows and cursors are mutually consistent,
+// which is what lets a restart resume the stream at LastLSN+1 with no gap
+// and no double-apply. Requires a data directory (NewRemoteCacheDurable).
+func (rc *RemoteCache) Checkpoint() error {
+	if rc.dataDir == "" {
+		return fmt.Errorf("wire: cache has no data directory")
+	}
+	rc.pullMu.Lock()
+	defer rc.pullMu.Unlock()
+	start := time.Now()
+	rc.mu.Lock()
+	pulls := append([]pullSub(nil), rc.pulls...)
+	rc.mu.Unlock()
+
+	ck := &cacheCheckpoint{}
+	tx := rc.DB.Store().Begin(false)
+	for _, p := range pulls {
+		tv := tx.Table(p.view)
+		if tv == nil {
+			continue
+		}
+		ck.Views = append(ck.Views, cacheViewState{Name: p.view, LastLSN: p.lastLSN, Rows: tv.Rows()})
+	}
+	tx.Abort()
+	if err := writeCacheCheckpoint(rc.dataDir, ck); err != nil {
+		return err
+	}
+	rc.reg.Counter("wire.cache_checkpoints").Add(1)
+	rc.reg.Histogram("wire.cache_checkpoint_seconds").ObserveDuration(time.Since(start))
+	return nil
 }
 
 // StartPulling launches the background pull agent. The agent survives failed

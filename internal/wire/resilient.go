@@ -21,6 +21,7 @@ type BackendClient interface {
 	exec.RemoteClient
 	Snapshot() ([]byte, error)
 	Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error)
+	Resume(table string, columns []string, filter, subName string, fromLSN storage.LSN) (int, bool, error)
 	Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error)
 	Close() error
 }
@@ -237,6 +238,24 @@ func (r *ResilientClient) Provision(table string, columns []string, filter, subN
 		return 0, 0, nil, err
 	}
 	return subID, lsn, rows, nil
+}
+
+// Resume reattaches a pull subscription at a durable position (idempotent:
+// repeating it reattaches to the same subscription, so it is retried).
+func (r *ResilientClient) Resume(table string, columns []string, filter, subName string, fromLSN storage.LSN) (int, bool, error) {
+	var (
+		subID int
+		ok    bool
+	)
+	err := r.do(true, func(c *Client) error {
+		var e error
+		subID, ok, e = c.Resume(table, columns, filter, subName, fromLSN)
+		return e
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return subID, ok, nil
 }
 
 // Pull fetches pending transactions (idempotent: unacknowledged batches are

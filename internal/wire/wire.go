@@ -50,6 +50,12 @@ const (
 	reqSnapshot
 	reqProvision
 	reqPull
+	// reqResume re-creates a pull subscription for a cache that restarted
+	// with durable state: like reqProvision but starting the stream at the
+	// cache's checkpointed LSN instead of taking a fresh snapshot. The server
+	// answers SubID = -1 (no error) when the backend can no longer serve that
+	// position and the cache must fall back to a full reseed.
+	reqResume
 )
 
 // request is one client->server frame.
@@ -84,6 +90,11 @@ type request struct {
 	// sees exactly the frame it always saw). Same append-only compatibility
 	// rules as TraceID.
 	ID uint64
+
+	// FromLSN is the resume position for reqResume: the first LSN the
+	// restarted subscriber has not applied. Same append-only compatibility
+	// rules as TraceID.
+	FromLSN storage.LSN
 }
 
 // response is one server->client frame.
@@ -322,6 +333,47 @@ func (s *Server) handle(req *request) *response {
 		}
 		resp.Rows = rows
 		resp.StartLSN = lsn
+	case reqResume:
+		var filter sql.Expr
+		if req.Filter != "" {
+			f, err := sql.ParseExpr(req.Filter)
+			if err != nil {
+				resp.Err = fmt.Sprintf("wire: bad filter: %v", err)
+				return resp
+			}
+			filter = f
+		}
+		art, err := s.backend.Repl.EnsureArticle(req.Table, req.Columns, filter)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		// Fast path: the backend never restarted and still holds this
+		// subscription — reattach to it. Its queue retains every batch the
+		// cache has not acknowledged, so the stream continues seamlessly.
+		s.mu.Lock()
+		resp.SubID = -1
+		for i, sub := range s.subs {
+			if sub.Name == req.SubName && sub.Article == art {
+				resp.SubID = i
+				break
+			}
+		}
+		s.mu.Unlock()
+		if resp.SubID < 0 {
+			// The backend restarted (or never saw this subscriber): resume is
+			// possible only while the WAL still retains FromLSN onward.
+			sub, ok := s.backend.Repl.ResumeRemote(art, req.SubName, req.FromLSN)
+			if !ok {
+				resp.StartLSN = req.FromLSN
+				return resp // SubID = -1: caller must reseed via Provision
+			}
+			s.mu.Lock()
+			s.subs = append(s.subs, sub)
+			resp.SubID = len(s.subs) - 1
+			s.mu.Unlock()
+		}
+		resp.StartLSN = req.FromLSN
 	case reqPull:
 		s.mu.Lock()
 		if req.SubID < 0 || req.SubID >= len(s.subs) {

@@ -41,6 +41,7 @@ import (
 	"mtcache/internal/exec"
 	"mtcache/internal/opt"
 	"mtcache/internal/resilience"
+	"mtcache/internal/storage"
 	"mtcache/internal/types"
 	"mtcache/internal/wire"
 )
@@ -72,6 +73,28 @@ type Options = opt.Options
 
 // NewBackend creates an empty backend server.
 func NewBackend(name string) *Backend { return core.NewBackend(name) }
+
+// DurabilityOptions configures a durable store: data directory, sync policy
+// (always/group/interval/none), segment size and automatic checkpointing.
+type DurabilityOptions = storage.DurabilityOptions
+
+// SyncPolicy selects when the WAL is fsynced relative to commit.
+type SyncPolicy = storage.SyncPolicy
+
+// ParseSyncPolicy parses "always", "group", "interval" or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return storage.ParseSyncPolicy(s) }
+
+// NewBackendDurable creates a backend whose commits are journaled to an
+// on-disk WAL with group commit and checkpoints. When opts.Dir holds state
+// from a previous run, recreate the schema and call DB.Recover() before
+// serving.
+func NewBackendDurable(name string, opts DurabilityOptions) (*Backend, error) {
+	return core.NewBackendDurable(name, opts)
+}
+
+// HasDurableState reports whether dir holds a previous run's WAL segments or
+// checkpoints — the recover-vs-load decision at boot.
+func HasDurableState(dir string) bool { return storage.HasDurableState(nil, dir) }
 
 // NewCache provisions a cache against a backend: shadow schema, shadowed
 // statistics and permissions, update forwarding, cached-view hook.
@@ -197,6 +220,13 @@ func NewFaultProxy(addr, target string, seed int64) (*FaultProxy, error) {
 // resilient).
 func NewRemoteCache(name string, client BackendClient, options *Options) (*RemoteCache, error) {
 	return wire.NewRemoteCache(name, client, options)
+}
+
+// NewRemoteCacheDurable is NewRemoteCache plus a data directory the cache
+// checkpoints to: on restart, cached views restore from the checkpoint and
+// resume their change streams at the checkpointed LSN instead of reseeding.
+func NewRemoteCacheDurable(name string, client BackendClient, options *Options, dataDir string) (*RemoteCache, error) {
+	return wire.NewRemoteCacheDurable(name, client, options, dataDir)
 }
 
 // WorkloadItem is one weighted statement for the caching advisor.
