@@ -9,6 +9,11 @@
 // checkpointed periodically, and a restart over the same directory recovers
 // the committed state from the latest checkpoint plus the log tail instead
 // of regenerating the dataset.
+//
+// With -shell an interactive SQL shell runs on stdin (same commands as
+// mtcache-server: \top, \slow, \events, \explain, \trace, \checkpoint,
+// \metrics, and the sys.* virtual tables via plain SELECTs). The default
+// stays headless so scripted deployments are unchanged.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 
 	"mtcache"
 	"mtcache/internal/obs"
+	"mtcache/internal/querystore"
+	"mtcache/internal/shell"
 	"mtcache/internal/tpcw"
 )
 
@@ -38,8 +45,15 @@ func main() {
 		segMB     = flag.Int("segment-mb", 8, "WAL segment size in MiB")
 		ckptEvery = flag.Int("checkpoint-every", 10000, "automatic checkpoint after this many commits (0 disables)")
 		ckptTick  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 disables)")
+
+		runShell  = flag.Bool("shell", false, "run an interactive SQL shell on stdin (default stays headless)")
+		qsEnabled = flag.Bool("querystore", true, "record per-query-shape runtime stats (sys.query_stats)")
+		slowQuery = flag.Duration("slow-query", 100*time.Millisecond, "capture EXPLAIN ANALYZE for shapes slower than this (sys.query_plans, \\slow)")
 	)
 	flag.Parse()
+
+	querystore.Default.SetEnabled(*qsEnabled)
+	querystore.Default.SetSlowThreshold(*slowQuery)
 
 	var backend *mtcache.Backend
 	if *dataDir == "" {
@@ -132,9 +146,26 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	if *runShell {
+		cfg := shell.Config{
+			Name:    "backend",
+			Exec:    func(sqlText string) (*mtcache.Result, error) { return backend.DB.Exec(sqlText, nil) },
+			Explain: backend.DB.Explain,
+			In:      os.Stdin,
+			Out:     os.Stdout,
+		}
+		if *dataDir != "" {
+			cfg.Checkpoint = func() error {
+				_, err := backend.DB.Checkpoint()
+				return err
+			}
+		}
+		shell.Run(cfg)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 	close(stopCkpt)
 	if *dataDir != "" {
 		// A final checkpoint makes the next boot's replay trivial.

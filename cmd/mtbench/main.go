@@ -10,10 +10,12 @@
 //	mtbench -experiment mvcc -clients 8 -bench-json BENCH_mvcc.json
 //	mtbench -experiment parallel -parallel-rows 60000 -bench-json BENCH_parallel.json
 //	mtbench -experiment recovery -clients 16 -bench-json BENCH_recovery.json
+//	mtbench -experiment querystore -bench-json BENCH_querystore.json
 //
 // Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// throughput, mvcc, parallel, recovery, all ("all" excludes chaos,
-// throughput, mvcc, parallel and recovery; run them explicitly).
+// throughput, mvcc, parallel, recovery, querystore, all ("all" excludes
+// chaos, throughput, mvcc, parallel, recovery and querystore; run them
+// explicitly).
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -43,6 +45,7 @@ func main() {
 		benchDur    = flag.Duration("bench-duration", 3*time.Second, "throughput: measurement window per mode")
 		benchJSON   = flag.String("bench-json", "", "throughput: write the result snapshot to this file as JSON")
 		parRows     = flag.Int("parallel-rows", 60000, "parallel: fact-table row count")
+		qsIters     = flag.Int("qs-iters", 2000, "querystore: timed point queries per mode")
 	)
 	flag.Parse()
 	defer writeMetricsJSON(*metricsJSON)
@@ -73,6 +76,10 @@ func main() {
 	}
 	if *experiment == "recovery" {
 		printRecovery(*clients, *benchDur, *benchJSON)
+		return
+	}
+	if *experiment == "querystore" {
+		printQuerystore(*qsIters, *benchJSON)
 		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}

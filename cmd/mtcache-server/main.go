@@ -15,37 +15,39 @@
 // change streams at the checkpointed LSN instead of reseeding over the wire.
 //
 // Shell commands: any SQL statement (including EXPLAIN [ANALYZE] <query>);
-// \explain <query>; \trace; \pull; \checkpoint; \metrics; \quit.
+// \explain <query>; \top; \slow; \events; \trace; \pull; \checkpoint;
+// \metrics; \quit. The sys.* virtual tables (sys.query_stats,
+// sys.query_plans, sys.events, sys.cached_views, sys.repl_status,
+// sys.wal_stats) answer ordinary SELECTs.
 //
 // The server also exposes an observability endpoint (-http, default
-// 127.0.0.1:8344): /metrics in Prometheus text format, /metrics.json, and
-// /debug/trace/last with the most recent query's span tree. Run with
-// -shell=false for headless deployments (blocks until SIGINT).
+// 127.0.0.1:8344): /metrics in Prometheus text format, /metrics.json,
+// /debug/trace/last with the most recent query's span tree, /debug/events
+// and /debug/querystore. Run with -shell=false for headless deployments
+// (blocks until SIGINT).
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
-	"strings"
 	"time"
 
 	"mtcache"
-	"mtcache/internal/metrics"
 	"mtcache/internal/obs"
+	"mtcache/internal/querystore"
+	"mtcache/internal/shell"
 	"mtcache/internal/tpcw"
-	"mtcache/internal/trace"
 )
 
 func main() {
 	var (
 		backendAddr = flag.String("backend", "127.0.0.1:7000", "backend wire address")
 		name        = flag.String("name", "cache1", "cache server name")
-		httpAddr    = flag.String("http", "127.0.0.1:8344", "observability HTTP address (/metrics, /debug/trace/last); empty disables")
-		shell       = flag.Bool("shell", true, "run the interactive SQL shell on stdin (false = headless, wait for SIGINT)")
+		httpAddr    = flag.String("http", "127.0.0.1:8344", "observability HTTP address (/metrics, /debug/trace/last, /debug/querystore); empty disables")
+		runShell    = flag.Bool("shell", true, "run the interactive SQL shell on stdin (false = headless, wait for SIGINT)")
 		tpcwViews   = flag.Bool("tpcw-views", true, "create the paper's four TPC-W cached views")
 		pull        = flag.Duration("pull", 200*time.Millisecond, "pull-subscription poll interval")
 		retries     = flag.Int("retries", 0, "max attempts per backend request (0 = default policy)")
@@ -53,8 +55,13 @@ func main() {
 		pool        = flag.Int("pool", 0, "multiplexed backend connections in the pool (0 = default policy)")
 		dataDir     = flag.String("data-dir", "", "cache checkpoint directory; restarts resume cached views at the checkpointed LSN instead of reseeding")
 		ckptTick    = flag.Duration("checkpoint-interval", 30*time.Second, "periodic cache checkpoint cadence with -data-dir (0 disables)")
+		qsEnabled   = flag.Bool("querystore", true, "record per-query-shape runtime stats (sys.query_stats)")
+		slowQuery   = flag.Duration("slow-query", 100*time.Millisecond, "capture EXPLAIN ANALYZE for shapes slower than this (sys.query_plans, \\slow)")
 	)
 	flag.Parse()
+
+	querystore.Default.SetEnabled(*qsEnabled)
+	querystore.Default.SetSlowThreshold(*slowQuery)
 
 	policy := mtcache.DefaultRetryPolicy()
 	if *retries > 0 {
@@ -125,7 +132,7 @@ func main() {
 		fmt.Printf("observability on http://%s/metrics\n", bound)
 	}
 
-	if !*shell {
+	if !*runShell {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
@@ -133,82 +140,13 @@ func main() {
 		return
 	}
 
-	fmt.Println("type SQL statements; \\explain <q>, \\trace, \\pull, \\checkpoint, \\metrics, \\quit")
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("> ")
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-		case line == `\quit` || line == `\q`:
-			return
-		case line == `\pull`:
-			n, err := cache.Pull()
-			if err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Printf("applied %d transactions\n", n)
-			}
-		case line == `\checkpoint`:
-			if err := cache.Checkpoint(); err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Println("cache checkpoint written")
-			}
-		case line == `\metrics`:
-			if s := metrics.Default.String(); s == "" {
-				fmt.Println("(no metrics yet)")
-			} else {
-				fmt.Print(s)
-			}
-		case line == `\trace`:
-			if t := trace.Traces.Last(); t == nil {
-				fmt.Println("(no traces recorded)")
-			} else {
-				fmt.Print(trace.Render(t))
-			}
-		case strings.HasPrefix(line, `\explain `):
-			text, err := cache.DB.Explain(strings.TrimPrefix(line, `\explain `))
-			if err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Print(text)
-			}
-		default:
-			res, err := cache.DB.Exec(line, nil)
-			if err != nil {
-				fmt.Println("error:", err)
-				break
-			}
-			printResult(res)
-		}
-		fmt.Print("> ")
-	}
-}
-
-func printResult(res *mtcache.Result) {
-	if len(res.Cols) == 0 {
-		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
-		return
-	}
-	var names []string
-	for _, c := range res.Cols {
-		names = append(names, c.Name)
-	}
-	fmt.Println(strings.Join(names, " | "))
-	limit := len(res.Rows)
-	if limit > 25 {
-		limit = 25
-	}
-	for _, row := range res.Rows[:limit] {
-		var vals []string
-		for _, v := range row {
-			vals = append(vals, v.Display())
-		}
-		fmt.Println(strings.Join(vals, " | "))
-	}
-	if len(res.Rows) > limit {
-		fmt.Printf("... %d more rows\n", len(res.Rows)-limit)
-	}
-	fmt.Printf("(%d rows; remote queries: %d)\n", len(res.Rows), res.Counters.RemoteQueries)
+	shell.Run(shell.Config{
+		Name:       *name,
+		Exec:       func(sqlText string) (*mtcache.Result, error) { return cache.DB.Exec(sqlText, nil) },
+		Explain:    cache.DB.Explain,
+		Pull:       cache.Pull,
+		Checkpoint: cache.Checkpoint,
+		In:         os.Stdin,
+		Out:        os.Stdout,
+	})
 }

@@ -92,7 +92,9 @@ func Analyze(cat *catalog.Catalog, workload []WorkloadItem, opts Options) (*Advi
 			return u
 		}
 		t := cat.Table(name)
-		if t == nil {
+		if t == nil || t.Virtual {
+			// Unknown names and virtual system tables (sys.*) carry no
+			// cacheable data; they never enter the recommendation set.
 			return nil
 		}
 		u := &tableUsage{table: t, columns: map[string]bool{}}

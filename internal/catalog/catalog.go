@@ -49,6 +49,14 @@ type Table struct {
 	Cached       bool // MTCache cached view, maintained by replication
 	ViewDef      *sql.SelectStmt
 
+	// Virtual marks a read-only system table (sys.* DMV equivalents):
+	// no storage, no indexes, rows produced on demand by RowsFn. Virtual
+	// tables resolve through Catalog.Table but are excluded from Tables()
+	// so view matching, the advisor, shadow export, ANALYZE and user
+	// listings never see them.
+	Virtual bool
+	RowsFn  func() []types.Row
+
 	Stats *TableStats
 }
 
@@ -130,6 +138,43 @@ func (c *Catalog) AddTable(t *Table) error {
 	return nil
 }
 
+// PutVirtualTable registers (or replaces) a read-only virtual system
+// table. Virtual tables are registered under their full dotted name
+// ("sys.query_stats") and may be re-registered freely — a role-specific
+// provider (backend repl health vs cache pull state) overrides the
+// engine's default. Replacing a non-virtual table is refused.
+func (c *Catalog) PutVirtualTable(t *Table) error {
+	if t.RowsFn == nil {
+		return fmt.Errorf("catalog: virtual table %s has no row provider", t.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if old, ok := c.tables[k]; ok && !old.Virtual {
+		return fmt.Errorf("catalog: %s exists and is not virtual", t.Name)
+	}
+	t.Virtual = true
+	if t.Stats == nil {
+		t.Stats = NewTableStats()
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// VirtualTables returns all virtual system tables sorted by name.
+func (c *Catalog) VirtualTables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, 8)
+	for _, t := range c.tables {
+		if t.Virtual {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // DropTable removes a table and its indexes.
 func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
@@ -149,12 +194,18 @@ func (c *Catalog) Table(name string) *Table {
 	return c.tables[key(name)]
 }
 
-// Tables returns all tables sorted by name.
+// Tables returns all user tables sorted by name. Virtual system tables
+// are deliberately excluded: every consumer of this listing — view
+// matching, the advisor, shadow catalog export, ANALYZE, SHOW TABLES —
+// must see only real user objects.
 func (c *Catalog) Tables() []*Table {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]*Table, 0, len(c.tables))
 	for _, t := range c.tables {
+		if t.Virtual {
+			continue
+		}
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -30,6 +30,7 @@ import (
 	"mtcache/internal/repl"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
+	"mtcache/internal/types"
 )
 
 // BackendServer is the authoritative database plus its replication runtime.
@@ -41,7 +42,30 @@ type BackendServer struct {
 // NewBackend creates an empty backend server.
 func NewBackend(name string) *BackendServer {
 	db := engine.New(engine.Config{Name: name, Role: engine.Backend})
-	return &BackendServer{DB: db, Repl: repl.NewServer(db)}
+	b := &BackendServer{DB: db, Repl: repl.NewServer(db)}
+	b.registerReplStatus()
+	return b
+}
+
+// registerReplStatus points sys.repl_status at the replication runtime's
+// per-subscription health, replacing the engine's empty default.
+func (b *BackendServer) registerReplStatus() {
+	_ = b.DB.RegisterVirtualTable("sys.repl_status", engine.ReplStatusColumns(), func() []types.Row {
+		hs := b.Repl.Health()
+		rows := make([]types.Row, 0, len(hs))
+		for _, h := range hs {
+			rows = append(rows, types.Row{
+				types.NewString(h.Name),
+				types.NewString("-> " + h.Target),
+				types.NewInt(int64(h.Pending)),
+				types.NewInt(h.ApplyErrors),
+				types.NewString(h.LastError),
+				types.NewInt(0), // per-subscription LSN is not exposed here
+				types.NewFloat(h.StalenessSeconds),
+			})
+		}
+		return rows
+	})
 }
 
 // NewBackendDurable creates a backend whose store journals commits to an
@@ -53,7 +77,9 @@ func NewBackendDurable(name string, opts storage.DurabilityOptions) (*BackendSer
 	if err != nil {
 		return nil, err
 	}
-	return &BackendServer{DB: db, Repl: repl.NewServer(db)}, nil
+	b := &BackendServer{DB: db, Repl: repl.NewServer(db)}
+	b.registerReplStatus()
+	return b, nil
 }
 
 // Exec runs a statement on the backend.

@@ -16,6 +16,12 @@ import (
 // knows it talked to a cache (paper §5). On the backend it executes locally
 // inside its own transaction.
 func (db *Database) execDML(stmt sql.Statement, params exec.Params) (*Result, error) {
+	// Virtual system tables are read-only everywhere — reject before the
+	// cache role forwards the statement to a backend that would only reject
+	// it against *its own* sys tables.
+	if t := db.virtualDMLTarget(stmt); t != nil {
+		return nil, fmt.Errorf("engine: %s is a read-only system table", t.Name)
+	}
 	if db.role == Cache {
 		if db.remote == nil {
 			return nil, fmt.Errorf("engine: cache has no backend link for update forwarding")
@@ -36,6 +42,31 @@ func (db *Database) execDML(stmt sql.Statement, params exec.Params) (*Result, er
 		return nil, err
 	}
 	return &Result{RowsAffected: n}, nil
+}
+
+// virtualDMLTarget returns the virtual system table a DML statement names,
+// or nil. The sys database qualifier alone is enough to reject — a typo'd
+// sys.* name must not be silently forwarded to the backend as user DML.
+func (db *Database) virtualDMLTarget(stmt sql.Statement) *catalog.Table {
+	var tn *sql.TableName
+	switch x := stmt.(type) {
+	case *sql.InsertStmt:
+		tn = x.Table
+	case *sql.UpdateStmt:
+		tn = x.Table
+	case *sql.DeleteStmt:
+		tn = x.Table
+	}
+	if tn == nil {
+		return nil
+	}
+	if t := db.cat.Table(tn.FullName()); t != nil && t.Virtual {
+		return t
+	}
+	if strEqualFold(tn.Database, "sys") {
+		return &catalog.Table{Name: tn.FullName(), Virtual: true}
+	}
+	return nil
 }
 
 // execDMLInTxn performs a DML statement inside an open write transaction

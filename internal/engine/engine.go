@@ -27,6 +27,7 @@ import (
 	"mtcache/internal/exec"
 	"mtcache/internal/metrics"
 	"mtcache/internal/opt"
+	"mtcache/internal/querystore"
 	"mtcache/internal/resilience"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
@@ -98,7 +99,7 @@ func New(cfg Config) *Database {
 	if cfg.Options != nil {
 		opts = *cfg.Options
 	}
-	return &Database{
+	db := &Database{
 		Name:      cfg.Name,
 		cat:       catalog.New(),
 		store:     storage.NewStore(),
@@ -107,6 +108,8 @@ func New(cfg Config) *Database {
 		remote:    cfg.Remote,
 		planCache: newPlanLRU(cfg.PlanCacheCap),
 	}
+	db.registerSystemTables()
+	return db
 }
 
 // Open is New plus durability: when cfg.Durability is set the store's WAL
@@ -313,16 +316,24 @@ func (db *Database) Query(stmt *sql.SelectStmt, params exec.Params) (*Result, er
 }
 
 func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, span *trace.Span) (*Result, error) {
+	// Query-store accounting is keyed by the normalized statement text (the
+	// plan-cache key). When the store is disabled the shape stays "" and
+	// every hook below is a no-op.
+	qs := querystore.Default
+	var shape string
+	if qs.Enabled() {
+		shape = stmt.CacheKey()
+	}
 	osp := span.Child("optimize")
 	start := time.Now()
 	var plan *opt.Plan
 	var err error
+	var hit bool
 	if stmt.Freshness != nil {
 		// Freshness-bounded queries are planned per execution against the
 		// views' current staleness, bypassing the plan cache.
 		plan, err = db.planWithFreshness(stmt, params)
 	} else {
-		var hit bool
 		plan, hit, err = db.planCached(stmt)
 		if err == nil {
 			osp.Attr("plan_cache", map[bool]string{true: "hit", false: "miss"}[hit])
@@ -333,12 +344,42 @@ func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, span *tr
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.runPlanSpan(plan, params, span)
+	variant := ""
+	if shape != "" {
+		variant = planVariant(plan)
+		if !hit {
+			// Rendering the plan costs once per cached plan, not per run.
+			qs.NotePlan(shape, variant, opt.Explain(plan))
+		}
+	}
+	qstart := time.Now()
+	res, err := db.runPlanCaptured(plan, params, span, shape, variant)
 	if err != nil && stmt.Freshness == nil && db.role == Cache && resilience.Degradable(err) {
 		if lres, lerr := db.queryLocalOnly(stmt, params); lerr == nil {
+			if shape != "" {
+				e := querystore.Exec{
+					Shape: shape, Variant: "degraded-local", Duration: time.Since(qstart),
+					Rows: int64(len(lres.Rows)), Degraded: true,
+					Staleness: db.servedStaleness(plan), TraceID: span.TraceID(),
+				}
+				qs.Record(e)
+			}
 			return lres, nil
 		}
-		return nil, err
+		// fall through to record the original failure
+	}
+	if shape != "" {
+		e := querystore.Exec{
+			Shape: shape, Variant: variant, Duration: time.Since(qstart),
+			PlanCacheHit: hit, Staleness: db.servedStaleness(plan),
+			Err: err, TraceID: span.TraceID(),
+		}
+		if res != nil {
+			e.Rows = int64(len(res.Rows))
+			e.RemoteQueries = res.Counters.RemoteQueries
+			e.RowsRemote = res.Counters.RowsRemote
+		}
+		qs.Record(e)
 	}
 	return res, err
 }
@@ -355,6 +396,38 @@ func (db *Database) queryLocalOnly(stmt *sql.SelectStmt, params exec.Params) (*R
 		return nil, err
 	}
 	metrics.Default.Counter("engine.degraded_stale").Add(1)
+	return res, nil
+}
+
+// runPlanCaptured is runPlanSpan plus slow-query capture: when the query
+// store armed this shape (a prior run exceeded the slow threshold), the
+// plan runs under exec.Instrument and the resulting EXPLAIN ANALYZE tree
+// is retained for sys.query_plans / \slow. Instrumented wrappers pass rows
+// through unchanged, so the client sees the identical result.
+func (db *Database) runPlanCaptured(plan *opt.Plan, params exec.Params, span *trace.Span, shape, variant string) (*Result, error) {
+	if shape == "" || !querystore.Default.WantCapture(shape) {
+		return db.runPlanSpan(plan, params, span)
+	}
+	esp := span.Child("execute")
+	start := time.Now()
+	tx := db.store.Begin(false)
+	defer tx.Abort()
+	res := &Result{}
+	ctx := &exec.Ctx{
+		Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
+		Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card,
+	}
+	root := exec.Instrument(exec.CloneOperator(plan.Root))
+	rs, err := exec.Run(root, ctx)
+	total := time.Since(start)
+	esp.End()
+	metrics.Default.Histogram("engine.execute_seconds").ObserveDuration(total)
+	if err != nil {
+		return nil, err
+	}
+	querystore.Default.StoreAnalyzed(shape, variant, opt.ExplainAnalyze(plan, root, total))
+	res.Cols = rs.Cols
+	res.Rows = rs.Rows
 	return res, nil
 }
 

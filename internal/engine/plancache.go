@@ -5,6 +5,7 @@ import (
 
 	"mtcache/internal/metrics"
 	"mtcache/internal/opt"
+	"mtcache/internal/querystore"
 )
 
 // defaultPlanCacheCap bounds the per-database plan cache when Config leaves
@@ -52,8 +53,13 @@ func (c *planLRU) put(key string, p *opt.Plan) {
 	for len(c.items) > c.cap {
 		back := c.order.Back()
 		c.order.Remove(back)
-		delete(c.items, back.Value.(*planEntry).key)
+		victim := back.Value.(*planEntry).key
+		delete(c.items, victim)
 		metrics.Default.Counter("engine.plan_cache_evictions").Add(1)
+		if len(victim) > 120 {
+			victim = victim[:120] + "…"
+		}
+		querystore.Emit("plan_evicted", "shape", victim)
 	}
 }
 

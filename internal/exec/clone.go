@@ -61,6 +61,8 @@ func CloneOperator(op Operator) Operator {
 		return &Remote{SQLText: x.SQLText, Cols: x.Cols}
 	case *Values:
 		return &Values{Cols: x.Cols, Rows: x.Rows}
+	case *VirtualScan:
+		return &VirtualScan{Name: x.Name, Rows: x.Rows, Cols: x.Cols}
 	case *Instrumented:
 		return &Instrumented{Op: CloneOperator(x.Op)}
 	}

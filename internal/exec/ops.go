@@ -1007,6 +1007,45 @@ func (v *Values) Next(ctx *Ctx) (types.Row, error) {
 
 func (v *Values) Close() error { return nil }
 
+// ------------------------------------------------------------- VirtualScan
+
+// VirtualScan yields the rows of a virtual system table (sys.*). The
+// provider is called once per Open so a query sees one consistent
+// materialization; there is no storage, no transaction and no index path.
+type VirtualScan struct {
+	Name string // full dotted table name, e.g. "sys.query_stats"
+	Rows func() []types.Row
+	Cols []ColInfo
+
+	rows []types.Row
+	pos  int
+}
+
+func (s *VirtualScan) Columns() []ColInfo { return s.Cols }
+
+func (s *VirtualScan) Open(*Ctx) error {
+	s.rows = s.Rows()
+	s.pos = 0
+	return nil
+}
+
+func (s *VirtualScan) Next(ctx *Ctx) (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	if ctx.Counters != nil {
+		ctx.Counters.RowsScanned++
+	}
+	return row, nil
+}
+
+func (s *VirtualScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
 // ---------------------------------------------------------------- Distinct
 
 // Distinct removes duplicate rows (hash-based).

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+)
+
+// quantileOf is the reference nearest-rank quantile over an explicit
+// sample set, mirroring Histogram.Quantile's definition.
+func quantileOf(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), s...)
+	sort.Float64s(c)
+	idx := int(float64(len(c))*q+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c) {
+		idx = len(c) - 1
+	}
+	return c[idx]
+}
+
+func TestMergePreservesCounts(t *testing.T) {
+	a, b := NewHistogram(0), NewHistogram(0)
+	for i := 1; i <= 10; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 11; i <= 25; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 25 {
+		t.Fatalf("count = %d, want 25", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 25 {
+		t.Fatalf("min/max = %v/%v, want 1/25", a.Min(), a.Max())
+	}
+	if mean := a.Mean(); mean != 13 {
+		t.Fatalf("mean = %v, want 13", mean)
+	}
+	// b must be untouched.
+	if b.Count() != 15 || b.Min() != 11 {
+		t.Fatalf("source histogram mutated: count=%d min=%v", b.Count(), b.Min())
+	}
+}
+
+func TestMergeQuantilesMatchUnion(t *testing.T) {
+	a, b := NewHistogram(0), NewHistogram(0)
+	var union []float64
+	for i := 0; i < 40; i++ {
+		v := float64(i * 3)
+		a.Observe(v)
+		union = append(union, v)
+	}
+	for i := 0; i < 17; i++ {
+		v := float64(1000 + i)
+		b.Observe(v)
+		union = append(union, v)
+	}
+	a.Merge(b)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		if got, want := a.Quantile(q), quantileOf(union, q); got != want {
+			t.Fatalf("q=%v: merged %v, union %v", q, got, want)
+		}
+	}
+}
+
+func TestMergeEmptyBoundaries(t *testing.T) {
+	// empty <- empty
+	a, b := NewHistogram(0), NewHistogram(0)
+	a.Merge(b)
+	if a.Count() != 0 || a.Quantile(0.5) != 0 || a.Mean() != 0 {
+		t.Fatal("empty+empty must stay empty")
+	}
+	// empty <- nonempty
+	c := NewHistogram(0)
+	c.Observe(7)
+	a.Merge(c)
+	if a.Count() != 1 || a.Min() != 7 || a.Max() != 7 {
+		t.Fatalf("empty+single: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	// nonempty <- empty leaves it unchanged
+	before := a.Quantile(0.5)
+	a.Merge(NewHistogram(0))
+	if a.Count() != 1 || a.Quantile(0.5) != before {
+		t.Fatal("merging an empty histogram changed the target")
+	}
+	// nil and self merges are no-ops
+	a.Merge(nil)
+	a.Merge(a)
+	if a.Count() != 1 {
+		t.Fatalf("nil/self merge changed count to %d", a.Count())
+	}
+}
+
+func TestMergeSingleSample(t *testing.T) {
+	a, b := NewHistogram(0), NewHistogram(0)
+	a.Observe(2)
+	b.Observe(8)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	// Nearest-rank over {2,8}: p50 = 2 (first sample covers 50%), p51+ = 8.
+	if a.Quantile(0.5) != 2 {
+		t.Fatalf("p50 = %v, want 2", a.Quantile(0.5))
+	}
+	if a.Quantile(0.51) != 8 || a.Quantile(1) != 8 {
+		t.Fatalf("upper quantiles = %v/%v, want 8/8", a.Quantile(0.51), a.Quantile(1))
+	}
+	if a.Quantile(0) != 2 {
+		t.Fatalf("p0 = %v, want 2", a.Quantile(0))
+	}
+}
+
+func TestMergeAllEqual(t *testing.T) {
+	a, b := NewHistogram(0), NewHistogram(0)
+	for i := 0; i < 9; i++ {
+		a.Observe(5)
+		b.Observe(5)
+	}
+	a.Merge(b)
+	if a.Count() != 18 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != 5 {
+			t.Fatalf("q=%v: %v, want 5", q, a.Quantile(q))
+		}
+	}
+	if a.Min() != 5 || a.Max() != 5 || a.Mean() != 5 {
+		t.Fatalf("min/max/mean = %v/%v/%v", a.Min(), a.Max(), a.Mean())
+	}
+}
+
+func TestMergeRespectsSampleCap(t *testing.T) {
+	a, b := NewHistogram(64), NewHistogram(0)
+	for i := 0; i < 64; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		b.Observe(float64(1000 + i))
+	}
+	a.Merge(b)
+	if a.Count() != 1064 {
+		t.Fatalf("count = %d, want 1064", a.Count())
+	}
+	a.mu.Lock()
+	retained := len(a.samples)
+	a.mu.Unlock()
+	if retained > 64 {
+		t.Fatalf("retained %d samples, cap 64", retained)
+	}
+	// Exact stats survive downsampling.
+	if a.Min() != 0 || a.Max() != 1999 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}

@@ -85,6 +85,55 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// Merge folds every observation recorded by o into h: count, sum, min and
+// max are combined exactly, and retained samples are concatenated (then
+// re-downsampled if the result exceeds h's cap) so nearest-rank quantiles of
+// the merge match quantiles over the union of the two retained sample sets.
+// o is left unchanged. The two locks are never held together, so concurrent
+// Merge calls in either direction cannot deadlock.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	samples := append([]float64(nil), o.samples...)
+	sum, count, seen := o.sum, o.count, o.seen
+	lo, hi := o.min, o.max
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.maxSamples <= 0 {
+		h.maxSamples = 4096
+	}
+	if h.stride <= 0 {
+		h.stride = 1
+	}
+	if h.count == 0 {
+		h.min, h.max = math.MaxFloat64, -math.MaxFloat64
+	}
+	h.sum += sum
+	h.count += count
+	h.seen += seen
+	if lo < h.min {
+		h.min = lo
+	}
+	if hi > h.max {
+		h.max = hi
+	}
+	h.samples = append(h.samples, samples...)
+	for len(h.samples) > h.maxSamples {
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	h.mu.Lock()

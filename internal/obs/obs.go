@@ -7,6 +7,11 @@
 //	/debug/status      JSON from registered Status sources (e.g. per-
 //	                   subscription replication health: queue depth, apply
 //	                   errors, staleness)
+//	/debug/events      the structured event ring (repl resubscribes,
+//	                   checkpoints, deadlock aborts, ...), newest first;
+//	                   ?n=K limits the count
+//	/debug/querystore  the query store: per-shape per-variant runtime stats
+//	                   plus captured slow-query plans, as JSON
 //
 // Both server binaries mount it; tests hit it through httptest.
 package obs
@@ -16,8 +21,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 
 	"mtcache/internal/metrics"
+	"mtcache/internal/querystore"
 	"mtcache/internal/trace"
 )
 
@@ -67,6 +74,37 @@ func Handler(reg *metrics.Registry, traces *trace.Collector, status ...Status) h
 			fmt.Fprint(w, trace.Render(t))
 			fmt.Fprintln(w)
 		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		n := 0 // all
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		events := querystore.Events.Recent(n)
+		if events == nil {
+			events = []querystore.Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events) //nolint:errcheck — best-effort over HTTP
+	})
+	mux.HandleFunc("/debug/querystore", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		shapes := querystore.Default.Snapshot()
+		if shapes == nil {
+			shapes = []querystore.ShapeSnapshot{}
+		}
+		out := map[string]any{
+			"enabled":           querystore.Default.Enabled(),
+			"slow_threshold_ms": float64(querystore.Default.SlowThreshold().Microseconds()) / 1000,
+			"shapes":            shapes,
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck — best-effort over HTTP
 	})
 	mux.HandleFunc("/debug/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

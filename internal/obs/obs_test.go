@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mtcache/internal/metrics"
+	"mtcache/internal/querystore"
 	"mtcache/internal/trace"
 )
 
@@ -112,6 +113,58 @@ func TestTraceEndpoints(t *testing.T) {
 	}
 	if strings.Index(body, tr2.ID) > strings.Index(body, tr.ID) {
 		t.Error("/debug/traces must be newest-first")
+	}
+}
+
+func TestEventsAndQuerystoreEndpoints(t *testing.T) {
+	srv, _, _ := newObsServer(t)
+	querystore.Events.Reset()
+	querystore.Default.Reset()
+	t.Cleanup(func() {
+		querystore.Events.Reset()
+		querystore.Default.Reset()
+	})
+
+	code, body, ctype := get(t, srv.URL+"/debug/events")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("status %d content-type %q", code, ctype)
+	}
+	var events []querystore.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(events) != 0 {
+		t.Fatalf("expected empty ring, got %d events", len(events))
+	}
+
+	querystore.Emit("checkpoint", "lsn", "42")
+	querystore.Emit("gc_run", "versions", "7")
+	_, body, _ = get(t, srv.URL+"/debug/events?n=1")
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != "gc_run" {
+		t.Fatalf("?n=1 should return the newest event: %+v", events)
+	}
+
+	querystore.Default.Record(querystore.Exec{Shape: "SELECT 1", Variant: "local", Rows: 1})
+	code, body, _ = get(t, srv.URL+"/debug/querystore")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var out struct {
+		Enabled         bool                       `json:"enabled"`
+		SlowThresholdMs float64                    `json:"slow_threshold_ms"`
+		Shapes          []querystore.ShapeSnapshot `json:"shapes"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !out.Enabled || out.SlowThresholdMs <= 0 {
+		t.Fatalf("enabled=%v slow_threshold_ms=%v", out.Enabled, out.SlowThresholdMs)
+	}
+	if len(out.Shapes) != 1 || out.Shapes[0].Shape != "SELECT 1" {
+		t.Fatalf("shapes: %+v", out.Shapes)
 	}
 }
 

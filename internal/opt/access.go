@@ -242,6 +242,10 @@ func (pl *planner) scanPath(t *catalog.Table, storageName string, scanCols []exe
 		rows = 1
 	}
 	var op exec.Operator = &exec.Scan{TableName: storageName, Cols: scanCols}
+	if t.Virtual {
+		// Virtual system tables have no storage: scan the provider directly.
+		op = &exec.VirtualScan{Name: storageName, Rows: t.RowsFn, Cols: scanCols}
+	}
 	cost := rows * costScanRow
 	card := rows
 	if pred := AndAll(conj); pred != nil {

@@ -143,6 +143,11 @@ func (e *Env) viewFreshEnough(viewName string) bool {
 // rule: "cached views and their indexes are Local and all other data sources
 // are Remote" (on a cache server).
 func (e *Env) locationOf(t *catalog.Table) Location {
+	// Virtual system tables (sys.*) describe *this* server's runtime state;
+	// they are always scanned locally, on backend and cache alike.
+	if t.Virtual {
+		return Local
+	}
 	if !e.IsCache {
 		return Local
 	}

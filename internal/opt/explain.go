@@ -110,6 +110,8 @@ func opLine(op exec.Operator) string {
 		return fmt.Sprintf("DataTransfer [%s]", x.SQLText)
 	case *exec.Values:
 		return fmt.Sprintf("Values rows=%d", len(x.Rows))
+	case *exec.VirtualScan:
+		return fmt.Sprintf("VirtualScan %s", x.Name)
 	default:
 		return fmt.Sprintf("%T", op)
 	}

@@ -543,9 +543,15 @@ func (pl *planner) normalize(orig *sql.SelectStmt) (*sql.SelectStmt, []*aliasInf
 			if alias == "" {
 				alias = x.Name
 			}
-			t := pl.env.Cat.Table(x.Name)
+			// Resolve dotted names (sys.query_stats) against the catalog's
+			// full-name key first, then fall back to the bare name so the
+			// database qualifier of shadowed backend tables stays ignorable.
+			t := pl.env.Cat.Table(x.FullName())
 			if t == nil {
-				return fmt.Errorf("opt: table or view %s does not exist", x.Name)
+				t = pl.env.Cat.Table(x.Name)
+			}
+			if t == nil {
+				return fmt.Errorf("opt: table or view %s does not exist", x.FullName())
 			}
 			// Plain (virtual) views expand to derived tables.
 			if t.IsView && !t.Materialized {

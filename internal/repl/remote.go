@@ -2,10 +2,12 @@ package repl
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"mtcache/internal/engine"
 	"mtcache/internal/metrics"
+	"mtcache/internal/querystore"
 	"mtcache/internal/storage"
 	"mtcache/internal/types"
 )
@@ -82,6 +84,9 @@ func (s *Server) ResumeRemote(a *Article, name string, startLSN storage.LSN) (*S
 	wal := s.publisher.Store().WAL()
 	if startLSN < wal.First() || startLSN > wal.End() {
 		metrics.Default.Counter("repl.resume_misses").Add(1)
+		querystore.Emit("repl_resume_miss", "sub", name,
+			"from_lsn", strconv.FormatUint(uint64(startLSN), 10),
+			"wal_first", strconv.FormatUint(uint64(wal.First()), 10))
 		return nil, false
 	}
 	sub := &Subscription{
@@ -97,6 +102,8 @@ func (s *Server) ResumeRemote(a *Article, name string, startLSN storage.LSN) (*S
 	}
 	s.subs = append(s.subs, sub)
 	metrics.Default.Counter("repl.resubscribes").Add(1)
+	querystore.Emit("repl_resubscribe", "sub", name,
+		"from_lsn", strconv.FormatUint(uint64(startLSN), 10))
 	return sub, true
 }
 

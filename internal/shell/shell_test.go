@@ -1,0 +1,79 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mtcache/internal/engine"
+	"mtcache/internal/querystore"
+)
+
+func newShellDB(t *testing.T) *engine.Database {
+	t.Helper()
+	querystore.Default.Reset()
+	querystore.Default.SetEnabled(true)
+	querystore.Events.Reset()
+	t.Cleanup(func() {
+		querystore.Default.Reset()
+		querystore.Default.SetSlowThreshold(100 * time.Millisecond)
+		querystore.Events.Reset()
+	})
+	db := engine.New(engine.Config{Name: "shelltest", Role: engine.Backend})
+	if err := db.ExecScript(`CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR);
+		INSERT INTO item (i_id, i_title) VALUES (1, 'a');
+		INSERT INTO item (i_id, i_title) VALUES (2, 'b')`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func run(t *testing.T, db *engine.Database, input string) string {
+	t.Helper()
+	var out strings.Builder
+	Run(Config{
+		Name:    "shelltest",
+		Exec:    func(q string) (*engine.Result, error) { return db.Exec(q, nil) },
+		Explain: db.Explain,
+		In:      strings.NewReader(input),
+		Out:     &out,
+	})
+	return out.String()
+}
+
+func TestShellSQLAndTop(t *testing.T) {
+	db := newShellDB(t)
+	got := run(t, db, "SELECT i_title FROM item WHERE i_id = 1\n\\top 5\n\\quit\n")
+	if !strings.Contains(got, "a") {
+		t.Fatalf("SELECT result missing:\n%s", got)
+	}
+	if !strings.Contains(got, "shape | executions") {
+		t.Fatalf("\\top header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "i_title") {
+		t.Fatalf("\\top should list the recorded shape:\n%s", got)
+	}
+}
+
+func TestShellEventsAndSlow(t *testing.T) {
+	db := newShellDB(t)
+	querystore.Emit("test_event", "k", "v")
+	querystore.Default.SetSlowThreshold(time.Nanosecond)
+	got := run(t, db,
+		"SELECT COUNT(*) FROM item\nSELECT COUNT(*) FROM item\n\\events\n\\slow\n\\quit\n")
+	if !strings.Contains(got, "test_event") {
+		t.Fatalf("\\events missing the emitted event:\n%s", got)
+	}
+	if !strings.Contains(got, "rows=") {
+		t.Fatalf("\\slow missing the EXPLAIN ANALYZE capture:\n%s", got)
+	}
+}
+
+func TestShellUnavailableHooks(t *testing.T) {
+	db := newShellDB(t)
+	got := run(t, db, "\\pull\n\\checkpoint\n\\quit\n")
+	if !strings.Contains(got, "\\pull is not available") ||
+		!strings.Contains(got, "\\checkpoint is not available") {
+		t.Fatalf("nil hooks should print a clear message:\n%s", got)
+	}
+}

@@ -80,6 +80,16 @@ type TableName struct {
 	Alias    string
 }
 
+// FullName returns the catalog lookup key: "database.name" when a database
+// qualifier is present (e.g. the sys schema of virtual system tables),
+// otherwise the bare name. Case folding is the catalog's concern.
+func (t *TableName) FullName() string {
+	if t.Database != "" {
+		return t.Database + "." + t.Name
+	}
+	return t.Name
+}
+
 // JoinType enumerates join flavors.
 type JoinType uint8
 

@@ -30,7 +30,7 @@ type token struct {
 // insensitively) lex as tokKeyword with upper-cased text.
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "TOP": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "TOP": true, "LIMIT": true,
 	"DISTINCT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
 	"IN": true, "LIKE": true, "BETWEEN": true, "IS": true, "NULL": true,
 	"TRUE": true, "FALSE": true, "JOIN": true, "INNER": true, "LEFT": true,

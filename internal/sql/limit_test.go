@@ -1,0 +1,50 @@
+package sql
+
+import "testing"
+
+func TestParseLimitClause(t *testing.T) {
+	s := MustParseSelect("SELECT shape, total_ms FROM sys.query_stats ORDER BY total_ms DESC LIMIT 10")
+	if s.Top == nil {
+		t.Fatal("LIMIT did not populate Top")
+	}
+	if s.Top.(*Literal).Val.Int() != 10 {
+		t.Fatalf("limit = %v, want 10", s.Top)
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Fatalf("order by lost around LIMIT: %+v", s.OrderBy)
+	}
+	tn := s.From[0].(*TableName)
+	if tn.Database != "sys" || tn.Name != "query_stats" {
+		t.Fatalf("table = %+v, want sys.query_stats", tn)
+	}
+	if tn.Alias != "" {
+		t.Fatalf("LIMIT was consumed as a table alias: %q", tn.Alias)
+	}
+	if tn.FullName() != "sys.query_stats" {
+		t.Fatalf("FullName = %q", tn.FullName())
+	}
+}
+
+func TestParseLimitWithoutOrderBy(t *testing.T) {
+	s := MustParseSelect("SELECT * FROM item LIMIT 3")
+	if s.Top == nil || s.Top.(*Literal).Val.Int() != 3 {
+		t.Fatalf("Top = %v, want 3", s.Top)
+	}
+	if s.From[0].(*TableName).Alias != "" {
+		t.Fatal("LIMIT was consumed as a table alias")
+	}
+}
+
+func TestParseTopWinsOverLimit(t *testing.T) {
+	s := MustParseSelect("SELECT TOP 5 * FROM item LIMIT 9")
+	if s.Top.(*Literal).Val.Int() != 5 {
+		t.Fatalf("Top = %v, want TOP's 5", s.Top)
+	}
+}
+
+func TestFullNameUnqualified(t *testing.T) {
+	tn := &TableName{Name: "item"}
+	if tn.FullName() != "item" {
+		t.Fatalf("FullName = %q", tn.FullName())
+	}
+}

@@ -293,6 +293,18 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 			}
 		}
 	}
+	// LIMIT n is accepted as a row-count bound equivalent to TOP n (placed
+	// after ORDER BY, the position most SQL dialects use). TOP wins when both
+	// appear, matching the T-SQL heritage of the rest of the grammar.
+	if p.acceptKw("LIMIT") {
+		e, err := p.primaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if s.Top == nil {
+			s.Top = e
+		}
+	}
 	if p.acceptKw("WITH") {
 		if err := p.expectKw("FRESHNESS"); err != nil {
 			return nil, err

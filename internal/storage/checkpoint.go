@@ -15,9 +15,11 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"mtcache/internal/metrics"
+	"mtcache/internal/querystore"
 	"mtcache/internal/types"
 )
 
@@ -75,6 +77,10 @@ func (s *Store) Checkpoint() (LSN, error) {
 	}
 	s.ckptLSN.Store(int64(walEnd))
 	metrics.Default.Counter("storage.checkpoints").Add(1)
+	querystore.Emit("checkpoint",
+		"lsn", strconv.FormatUint(uint64(walEnd), 10),
+		"rows", strconv.Itoa(rows),
+		"ms", strconv.FormatInt(time.Since(start).Milliseconds(), 10))
 	metrics.Default.Gauge("storage.checkpoint_lsn").Set(float64(walEnd))
 	metrics.Default.Histogram("storage.checkpoint_seconds").ObserveDuration(time.Since(start))
 	metrics.Default.Gauge("storage.checkpoint_rows").Set(float64(rows))

@@ -3,12 +3,14 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mtcache/internal/catalog"
 	"mtcache/internal/metrics"
+	"mtcache/internal/querystore"
 	"mtcache/internal/types"
 )
 
@@ -153,6 +155,8 @@ func (s *Store) acquireLatch(id int64, td *TableData) error {
 	defer s.lockMu.Unlock()
 	for td.owner != 0 && td.owner != id {
 		if s.wouldDeadlock(id, td) {
+			querystore.Emit("deadlock_abort",
+				"txn", strconv.FormatInt(id, 10), "table", td.meta.Name)
 			return ErrDeadlock
 		}
 		s.waitFor[id] = td
@@ -311,6 +315,7 @@ func (s *Store) GC() int {
 	}
 	if total > 0 {
 		metrics.Default.Counter("storage.versions_gc").Add(int64(total))
+		querystore.Emit("gc_run", "versions", strconv.Itoa(total))
 	}
 	return total
 }

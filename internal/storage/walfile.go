@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"mtcache/internal/metrics"
+	"mtcache/internal/querystore"
 )
 
 // SyncPolicy selects when commits are made durable.
@@ -613,6 +614,7 @@ func (d *diskWAL) fail(err error) error {
 	if d.err == nil {
 		d.err = err
 		close(d.curCh)
+		querystore.Emit("wal_wedged", "error", err.Error())
 	}
 	d.mu.Unlock()
 	return err

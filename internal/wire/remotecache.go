@@ -11,6 +11,7 @@ import (
 	"mtcache/internal/engine"
 	"mtcache/internal/metrics"
 	"mtcache/internal/opt"
+	"mtcache/internal/querystore"
 	"mtcache/internal/repl"
 	"mtcache/internal/sql"
 	"mtcache/internal/storage"
@@ -117,6 +118,28 @@ func newRemoteCache(name string, client BackendClient, options *opt.Options, dat
 		}
 		return 0, false
 	})
+	// Cache-side sys.repl_status: one row per pull subscription.
+	_ = db.RegisterVirtualTable("sys.repl_status", engine.ReplStatusColumns(), func() []types.Row {
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		rows := make([]types.Row, 0, len(rc.pulls))
+		for _, p := range rc.pulls {
+			stale := -1.0
+			if !p.lastPull.IsZero() {
+				stale = time.Since(p.lastPull).Seconds()
+			}
+			rows = append(rows, types.Row{
+				types.NewString(p.view),
+				types.NewString(fmt.Sprintf("pull sub %d", p.subID)),
+				types.NewInt(0), // pending batches are queued backend-side
+				types.NewInt(0),
+				types.NewString(""),
+				types.NewInt(int64(p.lastLSN)),
+				types.NewFloat(stale),
+			})
+		}
+		return rows
+	})
 	return rc, nil
 }
 
@@ -167,6 +190,7 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 				return err
 			}
 			rc.reg.Counter("wire.view_resumed").Add(1)
+			querystore.Emit("view_resumed", "view", view.Name, "lsn", fmt.Sprint(st.LastLSN))
 			rc.mu.Lock()
 			rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: st.LastLSN})
 			rc.mu.Unlock()
@@ -187,6 +211,7 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 		return err
 	}
 	rc.reg.Counter("wire.view_seeded").Add(1)
+	querystore.Emit("view_seeded", "view", view.Name, "rows", fmt.Sprint(len(rows)))
 	rc.mu.Lock()
 	// startLSN is the first LSN the change stream will produce; lastLSN holds
 	// the highest LSN already applied, so seed it one below the stream start.
@@ -345,6 +370,7 @@ func (rc *RemoteCache) Checkpoint() error {
 		return err
 	}
 	rc.reg.Counter("wire.cache_checkpoints").Add(1)
+	querystore.Emit("cache_checkpoint", "views", fmt.Sprint(len(ck.Views)))
 	rc.reg.Histogram("wire.cache_checkpoint_seconds").ObserveDuration(time.Since(start))
 	return nil
 }
