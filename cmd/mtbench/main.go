@@ -11,11 +11,12 @@
 //	mtbench -experiment parallel -parallel-rows 60000 -bench-json BENCH_parallel.json
 //	mtbench -experiment recovery -clients 16 -bench-json BENCH_recovery.json
 //	mtbench -experiment querystore -bench-json BENCH_querystore.json
+//	mtbench -experiment vectorized -vec-rows 20000 -bench-json BENCH_vectorized.json
 //
 // Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// throughput, mvcc, parallel, recovery, querystore, all ("all" excludes
-// chaos, throughput, mvcc, parallel, recovery and querystore; run them
-// explicitly).
+// throughput, mvcc, parallel, recovery, querystore, vectorized, all ("all"
+// excludes chaos, throughput, mvcc, parallel, recovery, querystore and
+// vectorized; run them explicitly).
 package main
 
 import (
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | vectorized | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -46,6 +47,7 @@ func main() {
 		benchJSON   = flag.String("bench-json", "", "throughput: write the result snapshot to this file as JSON")
 		parRows     = flag.Int("parallel-rows", 60000, "parallel: fact-table row count")
 		qsIters     = flag.Int("qs-iters", 2000, "querystore: timed point queries per mode")
+		vecRows     = flag.Int("vec-rows", 20000, "vectorized: fact-table row count")
 	)
 	flag.Parse()
 	defer writeMetricsJSON(*metricsJSON)
@@ -80,6 +82,10 @@ func main() {
 	}
 	if *experiment == "querystore" {
 		printQuerystore(*qsIters, *benchJSON)
+		return
+	}
+	if *experiment == "vectorized" {
+		printVectorized(*vecRows, *benchJSON)
 		return
 	}
 	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}

@@ -125,6 +125,7 @@ func (db *Database) execInsert(x *sql.InsertStmt, params exec.Params, tx *storag
 		return count, nil
 	}
 	sc := &scopeless{}
+	env := &exec.Env{Named: params}
 	for _, exprRow := range x.Rows {
 		vals := make([]types.Value, len(exprRow))
 		for i, e := range exprRow {
@@ -132,7 +133,7 @@ func (db *Database) execInsert(x *sql.InsertStmt, params exec.Params, tx *storag
 			if err != nil {
 				return 0, err
 			}
-			v, err := ce.Eval(nil, params)
+			v, err := ce.Eval(nil, env)
 			if err != nil {
 				return 0, err
 			}
@@ -242,9 +243,10 @@ func (db *Database) targetRows(t *catalog.Table, where sql.Expr, params exec.Par
 
 	var rids []storage.RowID
 	var evalErr error
+	env := &exec.Env{Named: params}
 	td.Scan(func(rid storage.RowID, row types.Row) bool {
 		if filter != nil {
-			ok, err := exec.EvalBool(filter, row, params)
+			ok, err := exec.EvalBool(filter, row, env)
 			if err != nil {
 				evalErr = err
 				return false
@@ -338,6 +340,7 @@ func (db *Database) execUpdate(x *sql.UpdateStmt, params exec.Params, tx *storag
 		sets = append(sets, setOp{ord: ord, e: ce})
 	}
 	td := tx.Table(t.Name)
+	env := &exec.Env{Named: params}
 	var count int64
 	for _, rid := range rids {
 		old := td.Get(rid)
@@ -346,7 +349,7 @@ func (db *Database) execUpdate(x *sql.UpdateStmt, params exec.Params, tx *storag
 		}
 		newRow := old.Clone()
 		for _, s := range sets {
-			v, err := s.e.Eval(old, params)
+			v, err := s.e.Eval(old, env)
 			if err != nil {
 				return 0, err
 			}

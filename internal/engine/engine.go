@@ -61,6 +61,13 @@ type Database struct {
 	planMu    sync.Mutex
 	planCache *planLRU
 
+	// autoMu guards autoCache, the auto-parameterization shape cache
+	// (normalized text → parsed statement; see autoparam.go).
+	autoMu    sync.Mutex
+	autoCache *autoLRU
+	autoOff   bool // Config.DisableAutoParam
+	rowMode   bool // Config.RowMode: force row-at-a-time execution
+
 	// mvPlans caches compiled matview maintenance plans per view. It is
 	// per-database (a *catalog.Table key from one database must never serve
 	// another's plan) and cleared by InvalidatePlans so DDL cannot leave
@@ -91,6 +98,17 @@ type Config struct {
 	// given directory (see storage.DurabilityOptions). Only honored by Open;
 	// New ignores it because enabling durability can fail.
 	Durability *storage.DurabilityOptions
+
+	// DisableAutoParam turns off auto-parameterization of ad-hoc SELECT
+	// text: every execution parses its own text and literal-distinct
+	// queries optimize separately. Benchmarks use it as the measured
+	// "before" of the zero-alloc plan-cache-key work.
+	DisableAutoParam bool
+
+	// RowMode forces row-at-a-time Volcano iteration even through
+	// operators with a vectorized batch path; the measured baseline of
+	// the vectorized-execution benchmarks.
+	RowMode bool
 }
 
 // New creates an empty database.
@@ -107,6 +125,9 @@ func New(cfg Config) *Database {
 		opts:      opts,
 		remote:    cfg.Remote,
 		planCache: newPlanLRU(cfg.PlanCacheCap),
+		autoCache: newAutoLRU(0),
+		autoOff:   cfg.DisableAutoParam,
+		rowMode:   cfg.RowMode,
 	}
 	db.registerSystemTables()
 	return db
@@ -187,6 +208,9 @@ func (db *Database) InvalidatePlans() {
 	db.planMu.Lock()
 	db.planCache.clear()
 	db.planMu.Unlock()
+	db.autoMu.Lock()
+	db.autoCache.clear()
+	db.autoMu.Unlock()
 	db.mvPlans.Range(func(k, _ any) bool {
 		db.mvPlans.Delete(k)
 		return true
@@ -239,6 +263,20 @@ func (db *Database) Exec(sqlText string, params exec.Params) (*Result, error) {
 func (db *Database) ExecTraced(sqlText string, params exec.Params, traceID string) (*Result, *trace.Trace, error) {
 	tr := trace.New(traceID, db.Name+".exec")
 	tr.Root.Attr("sql", sqlText)
+	// Auto-parameterization fast path: shape-identical SELECTs share one
+	// parsed statement (and through it one cached plan), skipping the
+	// parse entirely. Ineligible text falls through to the parser below.
+	if stmt, autoArgs, norm, ok := db.autoParse(sqlText); ok {
+		tr.Root.Attr("autoparam", "1")
+		res, err := db.querySpan(stmt, params, autoArgs, tr.Root)
+		normPool.Put(norm)
+		tr.Finish()
+		trace.Traces.Add(tr)
+		if res != nil {
+			res.TraceID = tr.ID
+		}
+		return res, tr, err
+	}
 	sp := tr.Root.Child("parse")
 	stmt, err := sql.Parse(sqlText)
 	sp.End()
@@ -281,7 +319,7 @@ func (db *Database) ExecStmt(stmt sql.Statement, params exec.Params) (*Result, e
 func (db *Database) execStmtSpan(stmt sql.Statement, params exec.Params, span *trace.Span) (*Result, error) {
 	switch x := stmt.(type) {
 	case *sql.SelectStmt:
-		return db.querySpan(x, params, span)
+		return db.querySpan(x, params, nil, span)
 	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
 		return db.execDML(stmt, params)
 	case *sql.CreateTableStmt:
@@ -312,10 +350,13 @@ func (db *Database) execStmtSpan(stmt sql.Statement, params exec.Params, span *t
 // degrades — the user asked for a bound the cache can no longer guarantee,
 // so it fails fast with the transport error instead.
 func (db *Database) Query(stmt *sql.SelectStmt, params exec.Params) (*Result, error) {
-	return db.querySpan(stmt, params, nil)
+	return db.querySpan(stmt, params, nil, nil)
 }
 
-func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, span *trace.Span) (*Result, error) {
+// querySpan runs one SELECT. autoArgs, when non-nil, holds the literal
+// values the auto-parameterization front door extracted from the original
+// text, bound positionally to the plan's @__pN parameters.
+func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, autoArgs []types.Value, span *trace.Span) (*Result, error) {
 	// Query-store accounting is keyed by the normalized statement text (the
 	// plan-cache key). When the store is disabled the shape stays "" and
 	// every hook below is a no-op.
@@ -353,9 +394,9 @@ func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, span *tr
 		}
 	}
 	qstart := time.Now()
-	res, err := db.runPlanCaptured(plan, params, span, shape, variant)
+	res, err := db.runPlanCaptured(plan, params, autoArgs, span, shape, variant)
 	if err != nil && stmt.Freshness == nil && db.role == Cache && resilience.Degradable(err) {
-		if lres, lerr := db.queryLocalOnly(stmt, params); lerr == nil {
+		if lres, lerr := db.queryLocalOnly(stmt, params, autoArgs); lerr == nil {
 			if shape != "" {
 				e := querystore.Exec{
 					Shape: shape, Variant: "degraded-local", Duration: time.Since(qstart),
@@ -386,12 +427,12 @@ func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, span *tr
 
 // queryLocalOnly answers a query from cached views alone (the degraded,
 // backend-down path).
-func (db *Database) queryLocalOnly(stmt *sql.SelectStmt, params exec.Params) (*Result, error) {
+func (db *Database) queryLocalOnly(stmt *sql.SelectStmt, params exec.Params, autoArgs []types.Value) (*Result, error) {
 	plan, err := opt.OptimizeLocalOnly(stmt, db.env())
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.RunPlan(plan, params)
+	res, err := db.runPlanSpan(plan, params, autoArgs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -404,9 +445,9 @@ func (db *Database) queryLocalOnly(stmt *sql.SelectStmt, params exec.Params) (*R
 // plan runs under exec.Instrument and the resulting EXPLAIN ANALYZE tree
 // is retained for sys.query_plans / \slow. Instrumented wrappers pass rows
 // through unchanged, so the client sees the identical result.
-func (db *Database) runPlanCaptured(plan *opt.Plan, params exec.Params, span *trace.Span, shape, variant string) (*Result, error) {
+func (db *Database) runPlanCaptured(plan *opt.Plan, params exec.Params, autoArgs []types.Value, span *trace.Span, shape, variant string) (*Result, error) {
 	if shape == "" || !querystore.Default.WantCapture(shape) {
-		return db.runPlanSpan(plan, params, span)
+		return db.runPlanSpan(plan, params, autoArgs, span)
 	}
 	esp := span.Child("execute")
 	start := time.Now()
@@ -414,9 +455,10 @@ func (db *Database) runPlanCaptured(plan *opt.Plan, params exec.Params, span *tr
 	defer tx.Abort()
 	res := &Result{}
 	ctx := &exec.Ctx{
-		Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
-		Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card,
+		Txn: tx, Remote: db.remote, Counters: &res.Counters,
+		Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card, RowMode: db.rowMode,
 	}
+	bindParams(plan, params, autoArgs, ctx)
 	root := exec.Instrument(exec.CloneOperator(plan.Root))
 	rs, err := exec.Run(root, ctx)
 	total := time.Since(start)
@@ -425,7 +467,7 @@ func (db *Database) runPlanCaptured(plan *opt.Plan, params exec.Params, span *tr
 	if err != nil {
 		return nil, err
 	}
-	querystore.Default.StoreAnalyzed(shape, variant, opt.ExplainAnalyze(plan, root, total))
+	querystore.Default.StoreAnalyzed(shape, variant, opt.ExplainAnalyze(plan, root, total), formatLiterals(autoArgs))
 	res.Cols = rs.Cols
 	res.Rows = rs.Rows
 	return res, nil
@@ -437,7 +479,7 @@ func (db *Database) planWithFreshness(stmt *sql.SelectStmt, params exec.Params) 
 	if err != nil {
 		return nil, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
 	}
-	v, err := bound.Eval(nil, params)
+	v, err := bound.Eval(nil, &exec.Env{Named: params})
 	if err != nil {
 		return nil, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
 	}
@@ -494,19 +536,20 @@ func (db *Database) PlanCacheSize() int {
 // per execution: cached plans are shared across sessions, and operators
 // carry per-run state (cursors, hash tables).
 func (db *Database) RunPlan(plan *opt.Plan, params exec.Params) (*Result, error) {
-	return db.runPlanSpan(plan, params, nil)
+	return db.runPlanSpan(plan, params, nil, nil)
 }
 
-func (db *Database) runPlanSpan(plan *opt.Plan, params exec.Params, span *trace.Span) (*Result, error) {
+func (db *Database) runPlanSpan(plan *opt.Plan, params exec.Params, autoArgs []types.Value, span *trace.Span) (*Result, error) {
 	esp := span.Child("execute")
 	start := time.Now()
 	tx := db.store.Begin(false)
 	defer tx.Abort()
 	res := &Result{}
 	ctx := &exec.Ctx{
-		Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
-		Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card,
+		Txn: tx, Remote: db.remote, Counters: &res.Counters,
+		Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card, RowMode: db.rowMode,
 	}
+	bindParams(plan, params, autoArgs, ctx)
 	rs, err := exec.Run(exec.CloneOperator(plan.Root), ctx)
 	esp.End()
 	metrics.Default.Histogram("engine.execute_seconds").ObserveDuration(time.Since(start))
@@ -563,9 +606,10 @@ func (db *Database) execExplain(x *sql.ExplainStmt, params exec.Params, span *tr
 		esp := span.Child("execute")
 		tx := db.store.Begin(false)
 		ctx := &exec.Ctx{
-			Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters,
-			Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card,
+			Txn: tx, Remote: db.remote, Counters: &res.Counters,
+			Span: esp, TraceID: esp.TraceID(), EstRows: plan.Card, RowMode: db.rowMode,
 		}
+		bindParams(plan, params, nil, ctx)
 		start := time.Now()
 		_, runErr := exec.Run(root, ctx)
 		total := time.Since(start)

@@ -131,7 +131,10 @@ func TestEngineParallelAggregation(t *testing.T) {
 }
 
 func TestPlanCacheLRUEviction(t *testing.T) {
-	db := New(Config{Name: "backend", Role: Backend, PlanCacheCap: 4})
+	// Auto-parameterization would fold the literal-distinct statements below
+	// into one shape (one plan); disable it so each text gets its own plan
+	// and the LRU actually evicts.
+	db := New(Config{Name: "backend", Role: Backend, PlanCacheCap: 4, DisableAutoParam: true})
 	if err := db.ExecScript("CREATE TABLE tiny (id INT PRIMARY KEY, v INT);"); err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +163,7 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 }
 
 func TestPlanCacheDefaultCapBounded(t *testing.T) {
-	db := New(Config{Name: "backend", Role: Backend})
+	db := New(Config{Name: "backend", Role: Backend, DisableAutoParam: true})
 	if err := db.ExecScript("CREATE TABLE tiny (id INT PRIMARY KEY, v INT);"); err != nil {
 		t.Fatal(err)
 	}

@@ -128,7 +128,9 @@ func (db *Database) CallProcedure(name string, params exec.Params) (*Result, err
 					tx.Abort()
 					return nil, err
 				}
-				rs, err := exec.Run(exec.CloneOperator(plan.Root), &exec.Ctx{Params: params, Txn: tx, Remote: db.remote, Counters: &res.Counters, EstRows: plan.Card})
+				pctx := &exec.Ctx{Txn: tx, Remote: db.remote, Counters: &res.Counters, EstRows: plan.Card, RowMode: db.rowMode}
+				bindParams(plan, params, nil, pctx)
+				rs, err := exec.Run(exec.CloneOperator(plan.Root), pctx)
 				if err != nil {
 					tx.Abort()
 					return nil, err

@@ -1,0 +1,8 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race (instrumentation and sync.Pool
+// behavior add allocations that do not exist in normal builds).
+const raceEnabled = false

@@ -101,7 +101,7 @@ func (db *Database) registerSystemTables() {
 
 	_ = db.RegisterVirtualTable("sys.query_plans", []catalog.Column{
 		str("shape"), str("variant"), i64("executions"),
-		f64("last_ms"), f64("p95_ms"), str("plan"), str("analyzed"),
+		f64("last_ms"), f64("p95_ms"), str("plan"), str("analyzed"), str("literals"),
 	}, queryPlansRows)
 
 	_ = db.RegisterVirtualTable("sys.events", []catalog.Column{
@@ -148,6 +148,7 @@ func queryPlansRows() []types.Row {
 				types.NewString(ss.Shape), types.NewString(v.Variant),
 				types.NewInt(v.Execs), types.NewFloat(v.LastMs), types.NewFloat(v.P95Ms),
 				types.NewString(v.Plan), types.NewString(v.Analyzed),
+				types.NewString(v.Literals),
 			})
 		}
 	}

@@ -70,7 +70,10 @@ func TestSysQueryStatsSplitsLocalRemoteOnCache(t *testing.T) {
 	}
 	// The forwarded text is re-executed by the backend engine, which records
 	// its own (local) shape into the shared store — so the cache's remote
-	// execution must appear as a shape with remote_execs = 1.
+	// execution must appear as a shape with remote_execs = 1. On the cache
+	// the shape keeps its literal: remote-going shapes are unsafe to
+	// auto-parameterize (literals drive cached-view matching), so each text
+	// plans individually.
 	var foundRemote bool
 	for _, row := range res.Rows {
 		if strings.Contains(row[0].Str(), "i_id = 17") && row[1].Int() == 1 && row[2].Int() == 0 {

@@ -151,9 +151,10 @@ type aggGroup struct {
 }
 
 // aggregateInput opens, drains and closes input, grouping rows by the
-// groupBy expressions and feeding the aggregate states. Groups come back in
-// first-seen order. With no groupBy, one global group exists even for empty
-// input.
+// groupBy expressions and feeding the aggregate states. Input is pulled in
+// batches; the group-key row is evaluated into a reusable buffer and cloned
+// only when it starts a new group. Groups come back in first-seen order.
+// With no groupBy, one global group exists even for empty input.
 func aggregateInput(ctx *Ctx, input Operator, groupBy []Expr, aggs []AggSpec) ([]*aggGroup, error) {
 	if err := input.Open(ctx); err != nil {
 		return nil, err
@@ -173,47 +174,135 @@ func aggregateInput(ctx *Ctx, input Operator, groupBy []Expr, aggs []AggSpec) ([
 		// Register it under the empty row's hash so per-row lookups find it.
 		groups[(types.Row{}).Hash()] = []*aggGroup{newGroup(types.Row{})}
 	}
+
+	// Vectorized fast path (batch mode only, so RowMode stays the faithful
+	// pre-vectorization baseline): grouping by one column of INT values
+	// probes a direct int-keyed table instead of evaluating the key
+	// expression, FNV-hashing it and comparing candidate key rows for every
+	// input row; column aggregate arguments are read by index. The first
+	// row whose key is not a non-NULL INT migrates the groups built so far
+	// into the generic table and aggregation continues interpreted.
+	keyCol := -1
+	if !ctx.RowMode && len(groupBy) == 1 {
+		if c, ok := groupBy[0].(*ColExpr); ok {
+			keyCol = c.I
+		}
+	}
+	var intGroups map[int64]*aggGroup
+	var argCols []int
+	if keyCol >= 0 {
+		intGroups = make(map[int64]*aggGroup)
+		argCols = make([]int, len(aggs))
+		for i, s := range aggs {
+			switch a := s.Arg.(type) {
+			case nil:
+				argCols[i] = -2 // COUNT(*): no argument
+			case *ColExpr:
+				argCols[i] = a.I
+			default:
+				argCols[i] = -1 // interpreted argument
+			}
+		}
+	}
+
+	keyBuf := make(types.Row, len(groupBy))
+	var b Batch
+	// Group keys are cloned and aggregate inputs copied by value, so the
+	// producer may recycle delivered rows.
+	b.Ephemeral = true
 	for {
-		row, err := input.Next(ctx)
-		if err != nil {
+		if err := NextBatch(ctx, input, &b); err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if len(b.Rows) == 0 {
 			break
 		}
-		keys := make(types.Row, len(groupBy))
-		for i, e := range groupBy {
-			v, err := e.Eval(row, ctx.Params)
+		rows := b.Rows
+		if intGroups != nil {
+			n, err := aggIntKeyBatch(ctx, rows, keyCol, argCols, aggs, intGroups, newGroup)
 			if err != nil {
 				return nil, err
 			}
-			keys[i] = v
-		}
-		hash := keys.Hash()
-		var g *aggGroup
-		for _, cand := range groups[hash] {
-			if types.RowsEqual(cand.keys, keys) {
-				g = cand
-				break
+			if n == len(rows) {
+				continue
 			}
+			for _, g := range order {
+				h := g.keys.Hash()
+				groups[h] = append(groups[h], g)
+			}
+			intGroups = nil
+			rows = rows[n:]
 		}
-		if g == nil {
-			g = newGroup(keys)
-			groups[hash] = append(groups[hash], g)
-		}
-		for i, spec := range aggs {
-			var v types.Value
-			if spec.Arg != nil {
-				v, err = spec.Arg.Eval(row, ctx.Params)
+		for _, row := range rows {
+			for i, e := range groupBy {
+				v, err := e.Eval(row, &ctx.Env)
 				if err != nil {
 					return nil, err
 				}
+				keyBuf[i] = v
 			}
-			g.states[i].add(spec, v)
+			hash := keyBuf.Hash()
+			var g *aggGroup
+			for _, cand := range groups[hash] {
+				if types.RowsEqual(cand.keys, keyBuf) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = newGroup(append(types.Row{}, keyBuf...))
+				groups[hash] = append(groups[hash], g)
+			}
+			for i, spec := range aggs {
+				var v types.Value
+				if spec.Arg != nil {
+					var err error
+					v, err = spec.Arg.Eval(row, &ctx.Env)
+					if err != nil {
+						return nil, err
+					}
+				}
+				g.states[i].add(spec, v)
+			}
 		}
 	}
 	input.Close()
 	return order, nil
+}
+
+// aggIntKeyBatch aggregates rows grouped by the INT values of column keyCol,
+// returning how many leading rows it consumed. It stops (and the caller
+// migrates to the generic hash table) at the first row whose key is not a
+// non-NULL INT.
+func aggIntKeyBatch(ctx *Ctx, rows []types.Row, keyCol int, argCols []int, aggs []AggSpec, intGroups map[int64]*aggGroup, newGroup func(types.Row) *aggGroup) (int, error) {
+	for n, row := range rows {
+		if keyCol >= len(row) || row[keyCol].K != types.KindInt {
+			return n, nil
+		}
+		k := row[keyCol].I
+		g := intGroups[k]
+		if g == nil {
+			g = newGroup(types.Row{types.NewInt(k)})
+			intGroups[k] = g
+		}
+		for i := range aggs {
+			var v types.Value
+			switch c := argCols[i]; {
+			case c == -2:
+				// COUNT(*): no argument.
+			case c >= 0 && c < len(row):
+				v = row[c]
+			default:
+				var err error
+				v, err = aggs[i].Arg.Eval(row, &ctx.Env)
+				if err != nil {
+					return n, err
+				}
+			}
+			g.states[i].add(aggs[i], v)
+		}
+	}
+	return len(rows), nil
 }
 
 func (h *HashAgg) Open(ctx *Ctx) error {
@@ -241,6 +330,12 @@ func (h *HashAgg) Next(*Ctx) (types.Row, error) {
 	row := h.out[h.pos]
 	h.pos++
 	return row, nil
+}
+
+// BatchNext slices the materialized output.
+func (h *HashAgg) BatchNext(_ *Ctx, b *Batch) error {
+	sliceBatch(h.out, &h.pos, b)
+	return nil
 }
 
 func (h *HashAgg) Close() error {

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"mtcache/internal/types"
+)
+
+// BatchSize is the row count operators aim for per batch. 64 rows amortizes
+// the per-call virtual dispatch and bounds checks across the tree while
+// keeping a batch comfortably inside the L1/L2 working set; it matches the
+// chunk size Exchange already uses on its worker channels.
+const BatchSize = 64
+
+// Batch is a reusable window of rows flowing between operators. Only the
+// Rows slice header is reused between calls — by default the row values
+// themselves are stable (MVCC snapshot rows from storage, or arena rows
+// owned by the producing operator), so consumers may retain them.
+//
+// A consumer that copies out everything it keeps before its next pull —
+// aggregation cloning group keys, a join probe emitting concatenated
+// copies — sets Ephemeral before calling NextBatch. That releases the
+// producer from the durability guarantee: it may overwrite the delivered
+// rows on the following BatchNext call, which lets Project recycle one
+// output slab instead of growing a fresh arena chunk per batch. Operators
+// that merely pass rows through (Filter, Limit, UnionAll) propagate the
+// flag; operators that retain input rows (Sort, TopN, Distinct, hash-join
+// builds, Exchange workers, Run itself) leave it unset on the batches they
+// own.
+type Batch struct {
+	Rows      []types.Row
+	Ephemeral bool
+}
+
+// BatchOperator is the vectorized fast path of an Operator: BatchNext
+// refills b (starting from b.Rows[:0]) with the next window of rows. An
+// empty batch signals end of stream; a non-empty batch may hold any positive
+// number of rows (typically up to BatchSize; joins may overshoot when one
+// probe row matches many build rows). BatchNext and Next must not be mixed
+// on the same operator instance within one execution.
+type BatchOperator interface {
+	Operator
+	BatchNext(ctx *Ctx, b *Batch) error
+}
+
+// NextBatch pulls the next batch from op, using its native batch path when
+// it has one and falling back to a row-at-a-time adapter otherwise (Remote,
+// VirtualScan, Instrumented, NestedLoop, ... keep working unchanged).
+func NextBatch(ctx *Ctx, op Operator, b *Batch) error {
+	// RowMode forces the adapter everywhere — the measured "before" of the
+	// vectorized-execution benchmarks.
+	if bo, ok := op.(BatchOperator); ok && !ctx.RowMode {
+		return bo.BatchNext(ctx, b)
+	}
+	b.Rows = b.Rows[:0]
+	for len(b.Rows) < BatchSize {
+		row, err := op.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return nil
+}
+
+// sliceBatch advances a cursor over fully materialized rows, handing out
+// BatchSize windows without copying.
+func sliceBatch(rows []types.Row, pos *int, b *Batch) {
+	n := len(rows) - *pos
+	if n > BatchSize {
+		n = BatchSize
+	}
+	if n <= 0 {
+		b.Rows = b.Rows[:0]
+		return
+	}
+	b.Rows = append(b.Rows[:0], rows[*pos:*pos+n]...)
+	*pos += n
+}
+
+// rowArena carves fixed-width output rows out of batch-sized chunks,
+// replacing a make per row with one make per batch. Callers hint the coming
+// batch's total width so chunks are sized to real demand — a point query
+// allocates exactly its one row, a full scan batch one 64-row chunk — and
+// live result rows never pin more than one batch of slack. Chunks are never
+// reused or freed early — every row handed out owns its slice for the life
+// of the result — so rows emitted from an arena are exactly as durable as
+// individually allocated ones. The full-capacity reslice (buf[:n:n]) makes
+// appending to an emitted row impossible to alias into a neighbour.
+type rowArena struct {
+	buf   []types.Value
+	chunk int // refill granularity, set by hint
+}
+
+// hint sets the refill size for the coming batch (total values expected).
+func (a *rowArena) hint(n int) { a.chunk = n }
+
+func (a *rowArena) alloc(n int) types.Row {
+	if n == 0 {
+		return types.Row{}
+	}
+	if len(a.buf) < n {
+		c := a.chunk
+		if n > c {
+			c = n
+		}
+		a.buf = make([]types.Value, c)
+	}
+	r := types.Row(a.buf[:n:n])
+	a.buf = a.buf[n:]
+	return r
+}
+
+// concat builds l ++ r in arena storage.
+func (a *rowArena) concat(l, r types.Row) types.Row {
+	out := a.alloc(len(l) + len(r))
+	copy(out, l)
+	copy(out[len(l):], r)
+	return out
+}

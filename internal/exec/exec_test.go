@@ -440,7 +440,7 @@ func TestScalarFunctions(t *testing.T) {
 
 func TestMissingParamError(t *testing.T) {
 	e := &ParamExpr{Name: "missing"}
-	if _, err := e.Eval(nil, Params{}); err == nil {
+	if _, err := e.Eval(nil, &Env{Named: Params{}}); err == nil {
 		t.Error("missing parameter should error")
 	}
 }

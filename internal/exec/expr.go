@@ -20,12 +20,35 @@ import (
 	"mtcache/internal/types"
 )
 
-// Params carries the run-time parameter values of a query.
+// Params carries the run-time parameter values of a query by name.
 type Params map[string]types.Value
+
+// Env is the per-execution expression environment. Named holds parameters by
+// name (the compatibility path); Slots/Bound hold the same values densely
+// indexed by the slot numbers AssignParamSlots burned into the plan's
+// ParamExpr nodes, so the hot path never touches a map. A nil *Env is legal
+// and means "no parameters supplied".
+type Env struct {
+	Named Params
+	Slots []types.Value
+	Bound []bool
+}
+
+// lookup resolves a parameter by slot (fast path) or name.
+func (e *Env) lookup(slot int, name string) (types.Value, bool) {
+	if e == nil {
+		return types.Null, false
+	}
+	if slot > 0 && slot <= len(e.Slots) && e.Bound[slot-1] {
+		return e.Slots[slot-1], true
+	}
+	v, ok := e.Named[name]
+	return v, ok
+}
 
 // Expr is a compiled scalar expression.
 type Expr interface {
-	Eval(row types.Row, p Params) (types.Value, error)
+	Eval(row types.Row, env *Env) (types.Value, error)
 }
 
 // ColExpr reads column i of the input row.
@@ -34,8 +57,13 @@ type ColExpr struct{ I int }
 // ConstExpr is a literal.
 type ConstExpr struct{ V types.Value }
 
-// ParamExpr reads a named parameter.
-type ParamExpr struct{ Name string }
+// ParamExpr reads a named parameter. slot is assigned by AssignParamSlots
+// once per plan; it is 1-based so that the zero value (a ParamExpr built by
+// hand or by CompileScalar outside a plan) still resolves by name.
+type ParamExpr struct {
+	Name string
+	slot int
+}
 
 // BinExpr applies a binary operator with SQL NULL semantics.
 type BinExpr struct {
@@ -55,11 +83,54 @@ type LikeMatch struct {
 	Not        bool
 }
 
-// InMatch is x IN (list).
+// inMatchSetThreshold is the list length from which NewInMatch builds a
+// constant hash set instead of leaving the probe to a linear scan.
+const inMatchSetThreshold = 8
+
+// InMatch is x IN (list). When every list element is a constant and the list
+// is long enough, set holds the values hashed once at compile time and Eval
+// probes it instead of re-evaluating the list per row; setNull records
+// whether the list contained NULL (needed for three-valued IN semantics).
 type InMatch struct {
-	X    Expr
-	List []Expr
-	Not  bool
+	X       Expr
+	List    []Expr
+	Not     bool
+	set     map[uint64][]types.Value
+	setNull bool
+}
+
+// NewInMatch compiles x IN (list), building the constant hash set when the
+// list is all-constant and at least inMatchSetThreshold long.
+func NewInMatch(x Expr, list []Expr, not bool) *InMatch {
+	m := &InMatch{X: x, List: list, Not: not}
+	if len(list) < inMatchSetThreshold {
+		return m
+	}
+	set := make(map[uint64][]types.Value, len(list))
+	sawNull := false
+	for _, le := range list {
+		c, ok := le.(*ConstExpr)
+		if !ok {
+			return m
+		}
+		if c.V.IsNull() {
+			sawNull = true
+			continue
+		}
+		h := c.V.Hash()
+		dup := false
+		for _, v := range set[h] {
+			if types.Equal(v, c.V) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			set[h] = append(set[h], c.V)
+		}
+	}
+	m.set, m.setNull = set, sawNull
+	return m
 }
 
 // BetweenMatch is x BETWEEN lo AND hi.
@@ -86,33 +157,33 @@ type ScalarFunc struct {
 	Args []Expr
 }
 
-func (e *ColExpr) Eval(row types.Row, _ Params) (types.Value, error) {
+func (e *ColExpr) Eval(row types.Row, _ *Env) (types.Value, error) {
 	if e.I < 0 || e.I >= len(row) {
 		return types.Null, fmt.Errorf("exec: column ordinal %d out of range (row width %d)", e.I, len(row))
 	}
 	return row[e.I], nil
 }
 
-func (e *ConstExpr) Eval(types.Row, Params) (types.Value, error) { return e.V, nil }
+func (e *ConstExpr) Eval(types.Row, *Env) (types.Value, error) { return e.V, nil }
 
-func (e *ParamExpr) Eval(_ types.Row, p Params) (types.Value, error) {
-	v, ok := p[e.Name]
+func (e *ParamExpr) Eval(_ types.Row, env *Env) (types.Value, error) {
+	v, ok := env.lookup(e.slot, e.Name)
 	if !ok {
 		return types.Null, fmt.Errorf("exec: missing parameter @%s", e.Name)
 	}
 	return v, nil
 }
 
-func (e *BinExpr) Eval(row types.Row, p Params) (types.Value, error) {
+func (e *BinExpr) Eval(row types.Row, env *Env) (types.Value, error) {
 	// AND/OR need Kleene logic and short-circuiting.
 	if e.Op == sql.OpAnd || e.Op == sql.OpOr {
-		return e.evalLogic(row, p)
+		return e.evalLogic(row, env)
 	}
-	l, err := e.L.Eval(row, p)
+	l, err := e.L.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
-	r, err := e.R.Eval(row, p)
+	r, err := e.R.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
@@ -120,29 +191,51 @@ func (e *BinExpr) Eval(row types.Row, p Params) (types.Value, error) {
 		return types.Null, nil
 	}
 	if e.Op.IsComparison() {
-		c := types.Compare(l, r)
-		var b bool
-		switch e.Op {
-		case sql.OpEQ:
-			b = c == 0
-		case sql.OpNE:
-			b = c != 0
-		case sql.OpLT:
-			b = c < 0
-		case sql.OpLE:
-			b = c <= 0
-		case sql.OpGT:
-			b = c > 0
-		case sql.OpGE:
-			b = c >= 0
+		// Same-kind fast paths avoid the generic Compare dispatch on the
+		// two dominant column types.
+		if l.K == r.K {
+			switch l.K {
+			case types.KindInt:
+				return types.NewBool(cmpHolds(e.Op, cmpInt(l.I, r.I))), nil
+			case types.KindString:
+				return types.NewBool(cmpHolds(e.Op, strings.Compare(l.S, r.S))), nil
+			}
 		}
-		return types.NewBool(b), nil
+		return types.NewBool(cmpHolds(e.Op, types.Compare(l, r))), nil
 	}
 	return evalArith(e.Op, l, r)
 }
 
-func (e *BinExpr) evalLogic(row types.Row, p Params) (types.Value, error) {
-	l, err := e.L.Eval(row, p)
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpHolds(op sql.BinOp, c int) bool {
+	switch op {
+	case sql.OpEQ:
+		return c == 0
+	case sql.OpNE:
+		return c != 0
+	case sql.OpLT:
+		return c < 0
+	case sql.OpLE:
+		return c <= 0
+	case sql.OpGT:
+		return c > 0
+	case sql.OpGE:
+		return c >= 0
+	}
+	return false
+}
+
+func (e *BinExpr) evalLogic(row types.Row, env *Env) (types.Value, error) {
+	l, err := e.L.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
@@ -155,7 +248,7 @@ func (e *BinExpr) evalLogic(row types.Row, p Params) (types.Value, error) {
 			return types.NewBool(true), nil
 		}
 	}
-	r, err := e.R.Eval(row, p)
+	r, err := e.R.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
@@ -228,16 +321,16 @@ func evalArith(op sql.BinOp, l, r types.Value) (types.Value, error) {
 	return types.Null, fmt.Errorf("exec: unsupported arithmetic on %s", op)
 }
 
-func (e *NotExpr) Eval(row types.Row, p Params) (types.Value, error) {
-	v, err := e.X.Eval(row, p)
+func (e *NotExpr) Eval(row types.Row, env *Env) (types.Value, error) {
+	v, err := e.X.Eval(row, env)
 	if err != nil || v.IsNull() {
 		return types.Null, err
 	}
 	return types.NewBool(!v.Bool()), nil
 }
 
-func (e *NegExpr) Eval(row types.Row, p Params) (types.Value, error) {
-	v, err := e.X.Eval(row, p)
+func (e *NegExpr) Eval(row types.Row, env *Env) (types.Value, error) {
+	v, err := e.X.Eval(row, env)
 	if err != nil || v.IsNull() {
 		return types.Null, err
 	}
@@ -250,12 +343,12 @@ func (e *NegExpr) Eval(row types.Row, p Params) (types.Value, error) {
 	return types.Null, fmt.Errorf("exec: cannot negate %s", v.K)
 }
 
-func (e *LikeMatch) Eval(row types.Row, p Params) (types.Value, error) {
-	x, err := e.X.Eval(row, p)
+func (e *LikeMatch) Eval(row types.Row, env *Env) (types.Value, error) {
+	x, err := e.X.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
-	pat, err := e.Pattern.Eval(row, p)
+	pat, err := e.Pattern.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
@@ -307,17 +400,28 @@ func likeRec(s, p string) bool {
 	return len(s) == 0
 }
 
-func (e *InMatch) Eval(row types.Row, p Params) (types.Value, error) {
-	x, err := e.X.Eval(row, p)
+func (e *InMatch) Eval(row types.Row, env *Env) (types.Value, error) {
+	x, err := e.X.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
 	if x.IsNull() {
 		return types.Null, nil
 	}
+	if e.set != nil {
+		for _, v := range e.set[x.Hash()] {
+			if types.Equal(x, v) {
+				return types.NewBool(!e.Not), nil
+			}
+		}
+		if e.setNull {
+			return types.Null, nil
+		}
+		return types.NewBool(e.Not), nil
+	}
 	sawNull := false
 	for _, le := range e.List {
-		v, err := le.Eval(row, p)
+		v, err := le.Eval(row, env)
 		if err != nil {
 			return types.Null, err
 		}
@@ -335,16 +439,16 @@ func (e *InMatch) Eval(row types.Row, p Params) (types.Value, error) {
 	return types.NewBool(e.Not), nil
 }
 
-func (e *BetweenMatch) Eval(row types.Row, p Params) (types.Value, error) {
-	x, err := e.X.Eval(row, p)
+func (e *BetweenMatch) Eval(row types.Row, env *Env) (types.Value, error) {
+	x, err := e.X.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
-	lo, err := e.Lo.Eval(row, p)
+	lo, err := e.Lo.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
-	hi, err := e.Hi.Eval(row, p)
+	hi, err := e.Hi.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
@@ -358,8 +462,8 @@ func (e *BetweenMatch) Eval(row types.Row, p Params) (types.Value, error) {
 	return types.NewBool(in), nil
 }
 
-func (e *IsNullMatch) Eval(row types.Row, p Params) (types.Value, error) {
-	v, err := e.X.Eval(row, p)
+func (e *IsNullMatch) Eval(row types.Row, env *Env) (types.Value, error) {
+	v, err := e.X.Eval(row, env)
 	if err != nil {
 		return types.Null, err
 	}
@@ -370,26 +474,33 @@ func (e *IsNullMatch) Eval(row types.Row, p Params) (types.Value, error) {
 	return types.NewBool(isNull), nil
 }
 
-func (e *CaseMatch) Eval(row types.Row, p Params) (types.Value, error) {
+func (e *CaseMatch) Eval(row types.Row, env *Env) (types.Value, error) {
 	for _, w := range e.Whens {
-		c, err := w.Cond.Eval(row, p)
+		c, err := w.Cond.Eval(row, env)
 		if err != nil {
 			return types.Null, err
 		}
 		if !c.IsNull() && c.Bool() {
-			return w.Then.Eval(row, p)
+			return w.Then.Eval(row, env)
 		}
 	}
 	if e.Else != nil {
-		return e.Else.Eval(row, p)
+		return e.Else.Eval(row, env)
 	}
 	return types.Null, nil
 }
 
-func (e *ScalarFunc) Eval(row types.Row, p Params) (types.Value, error) {
-	args := make([]types.Value, len(e.Args))
+func (e *ScalarFunc) Eval(row types.Row, env *Env) (types.Value, error) {
+	// Small fixed-size argument buffer keeps common calls allocation-free.
+	var argbuf [4]types.Value
+	var args []types.Value
+	if len(e.Args) <= len(argbuf) {
+		args = argbuf[:len(e.Args)]
+	} else {
+		args = make([]types.Value, len(e.Args))
+	}
 	for i, a := range e.Args {
-		v, err := a.Eval(row, p)
+		v, err := a.Eval(row, env)
 		if err != nil {
 			return types.Null, err
 		}
@@ -457,11 +568,11 @@ func (e *ScalarFunc) Eval(row types.Row, p Params) (types.Value, error) {
 
 // EvalBool evaluates a predicate; NULL counts as false (SQL filter
 // semantics).
-func EvalBool(e Expr, row types.Row, p Params) (bool, error) {
+func EvalBool(e Expr, row types.Row, env *Env) (bool, error) {
 	if e == nil {
 		return true, nil
 	}
-	v, err := e.Eval(row, p)
+	v, err := e.Eval(row, env)
 	if err != nil {
 		return false, err
 	}

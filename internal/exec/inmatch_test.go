@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mtcache/internal/types"
+)
+
+func constList(vals ...types.Value) []Expr {
+	out := make([]Expr, len(vals))
+	for i, v := range vals {
+		out[i] = &ConstExpr{V: v}
+	}
+	return out
+}
+
+func evalIn(t *testing.T, m *InMatch, x types.Value) types.Value {
+	t.Helper()
+	v, err := m.X.(*ConstExpr).V, error(nil)
+	_ = v
+	m2 := *m
+	m2.X = &ConstExpr{V: x}
+	out, err := m2.Eval(nil, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInMatchBuildsSetOverThreshold(t *testing.T) {
+	long := constList(
+		types.NewInt(1), types.NewInt(2), types.NewInt(3), types.NewInt(4),
+		types.NewInt(5), types.NewInt(6), types.NewInt(7), types.NewInt(8),
+	)
+	if m := NewInMatch(&ConstExpr{V: types.NewInt(0)}, long, false); m.set == nil {
+		t.Error("8-element constant list should build the hash set")
+	}
+	short := constList(types.NewInt(1), types.NewInt(2))
+	if m := NewInMatch(&ConstExpr{V: types.NewInt(0)}, short, false); m.set != nil {
+		t.Error("short list should stay on the linear path")
+	}
+	// A non-constant element disables the set (it must be evaluated per row).
+	mixed := append(constList(
+		types.NewInt(1), types.NewInt(2), types.NewInt(3), types.NewInt(4),
+		types.NewInt(5), types.NewInt(6), types.NewInt(7)),
+		&ColExpr{I: 0})
+	if m := NewInMatch(&ConstExpr{V: types.NewInt(0)}, mixed, false); m.set != nil {
+		t.Error("non-constant list must not build the hash set")
+	}
+}
+
+// Property: the hash-set fast path and the linear list path agree on every
+// probe, including NULL semantics, NOT IN, duplicates and cross-kind
+// numeric equality (1 = 1.0).
+func TestInMatchSetMatchesLinearPath(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + r.Intn(8)
+		vals := make([]types.Value, n)
+		for i := range vals {
+			switch r.Intn(4) {
+			case 0:
+				vals[i] = types.NewInt(int64(r.Intn(10)))
+			case 1:
+				vals[i] = types.NewFloat(float64(r.Intn(10)))
+			case 2:
+				vals[i] = types.NewString(fmt.Sprintf("s%d", r.Intn(10)))
+			default:
+				vals[i] = types.Null
+			}
+		}
+		for _, not := range []bool{false, true} {
+			withSet := NewInMatch(&ConstExpr{V: types.Null}, constList(vals...), not)
+			if withSet.set == nil {
+				t.Fatal("set not built")
+			}
+			linear := &InMatch{X: withSet.X, List: withSet.List, Not: not}
+			probes := []types.Value{
+				types.NewInt(int64(r.Intn(12))),
+				types.NewFloat(float64(r.Intn(12))),
+				types.NewString(fmt.Sprintf("s%d", r.Intn(12))),
+				types.Null,
+			}
+			for _, p := range probes {
+				a := evalIn(t, withSet, p)
+				b := evalIn(t, linear, p)
+				if a.K != b.K || (a.K != types.KindNull && a.Bool() != b.Bool()) {
+					t.Fatalf("set/linear divergence: probe %v not=%v: set=%v linear=%v (list %v)",
+						p, not, a, b, vals)
+				}
+			}
+		}
+	}
+}

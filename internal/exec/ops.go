@@ -53,6 +53,7 @@ type Counters struct {
 // Ctx is the per-execution context.
 type Ctx struct {
 	Params   Params
+	Env      Env             // expression environment; Run seeds Named from Params
 	Txn      *storage.Txn
 	Remote   RemoteClient
 	Counters *Counters
@@ -60,6 +61,7 @@ type Ctx struct {
 	TraceID  string          // propagated to the backend on DataTransfer
 	EstRows  float64         // optimizer output-cardinality estimate, 0 if unknown
 	Context  context.Context // optional cancellation signal; nil means none
+	RowMode  bool            // force row-at-a-time Next even for batch operators
 }
 
 // maxPrealloc caps estimate-driven allocations: estimates can be off by
@@ -87,8 +89,13 @@ type Operator interface {
 	Close() error
 }
 
-// Run drains an operator into a ResultSet.
+// Run drains an operator into a ResultSet. Unless ctx.RowMode is set it
+// pulls BatchSize-row batches through the tree (operators without a native
+// batch path are adapted transparently by NextBatch).
 func Run(op Operator, ctx *Ctx) (*ResultSet, error) {
+	if ctx.Env.Named == nil {
+		ctx.Env.Named = ctx.Params
+	}
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -97,15 +104,27 @@ func Run(op Operator, ctx *Ctx) (*ResultSet, error) {
 	if n := preallocSize(ctx.EstRows, maxPrealloc); n > 0 {
 		rs.Rows = make([]types.Row, 0, n)
 	}
+	if ctx.RowMode {
+		for {
+			row, err := op.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				return rs, nil
+			}
+			rs.Rows = append(rs.Rows, row)
+		}
+	}
+	var b Batch
 	for {
-		row, err := op.Next(ctx)
-		if err != nil {
+		if err := NextBatch(ctx, op, &b); err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if len(b.Rows) == 0 {
 			return rs, nil
 		}
-		rs.Rows = append(rs.Rows, row)
+		rs.Rows = append(rs.Rows, b.Rows...)
 	}
 }
 
@@ -123,6 +142,8 @@ type Scan struct {
 	pos  int
 	cap  int
 	part *storage.SlotRange // worker's slot range, nil = whole heap
+	pred *vecPred           // predicate pushed down by the parent Filter
+	rhs  []types.Value      // pred's per-batch right-hand-side scratch
 }
 
 func (s *Scan) Columns() []ColInfo { return s.Cols }
@@ -160,6 +181,46 @@ func (s *Scan) Next(ctx *Ctx) (types.Row, error) {
 	return nil, nil
 }
 
+// BatchNext fills b with up to BatchSize rows; an empty batch is EOS (empty
+// heap-slot runs are skipped without ending the stream). A pushed-down
+// predicate is applied before rows ever enter the batch, so filtered-out
+// rows are never materialized into a window at all; the scan keeps going
+// until at least one row survives or the heap is exhausted. RowsScanned
+// counts rows examined (pre-filter), matching the unfused pipeline.
+func (s *Scan) BatchNext(ctx *Ctx, b *Batch) error {
+	b.Rows = b.Rows[:0]
+	if s.pred != nil {
+		var err error
+		if s.rhs, err = s.pred.resolve(s.rhs, &ctx.Env); err != nil {
+			return err
+		}
+	}
+	examined := int64(0)
+	for s.pos < s.cap && len(b.Rows) < BatchSize {
+		row := s.td.At(s.pos)
+		s.pos++
+		if row == nil {
+			continue
+		}
+		examined++
+		if s.pred != nil {
+			ok, err := s.pred.holds(row, s.rhs, &ctx.Env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// Keep scanning: an all-filtered window must not read as EOS.
+				continue
+			}
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	if ctx.Counters != nil {
+		ctx.Counters.RowsScanned += examined
+	}
+	return nil
+}
+
 func (s *Scan) Close() error { s.td = nil; return nil }
 
 // ---------------------------------------------------------------- IndexScan
@@ -178,7 +239,9 @@ type IndexScan struct {
 	rids []storage.RowID
 	td   *storage.TableView
 	pos  int
-	part *indexPart // worker's key range, nil = whole index
+	part *indexPart    // worker's key range, nil = whole index
+	pred *vecPred      // residual predicate pushed down by the parent Filter
+	rhs  []types.Value // pred's per-batch right-hand-side scratch
 }
 
 // indexPart is one worker's index key range [lo, hi): full-key bounds cut at
@@ -272,7 +335,7 @@ func evalBound(bound []Expr, ctx *Ctx) (types.Row, error) {
 	}
 	row := make(types.Row, len(bound))
 	for i, e := range bound {
-		v, err := e.Eval(nil, ctx.Params)
+		v, err := e.Eval(nil, &ctx.Env)
 		if err != nil {
 			return nil, err
 		}
@@ -295,6 +358,42 @@ func (s *IndexScan) Next(ctx *Ctx) (types.Row, error) {
 	return nil, nil
 }
 
+// BatchNext fills b with up to BatchSize visible rows; empty batch is EOS.
+// A pushed-down residual predicate filters rows before they enter the
+// batch, exactly as in Scan.BatchNext.
+func (s *IndexScan) BatchNext(ctx *Ctx, b *Batch) error {
+	b.Rows = b.Rows[:0]
+	if s.pred != nil {
+		var err error
+		if s.rhs, err = s.pred.resolve(s.rhs, &ctx.Env); err != nil {
+			return err
+		}
+	}
+	examined := int64(0)
+	for s.pos < len(s.rids) && len(b.Rows) < BatchSize {
+		row := s.td.Get(s.rids[s.pos])
+		s.pos++
+		if row == nil {
+			continue
+		}
+		examined++
+		if s.pred != nil {
+			ok, err := s.pred.holds(row, s.rhs, &ctx.Env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	if ctx.Counters != nil {
+		ctx.Counters.RowsScanned += examined
+	}
+	return nil
+}
+
 func (s *IndexScan) Close() error { s.td = nil; return nil }
 
 // ---------------------------------------------------------------- Filter
@@ -303,10 +402,34 @@ func (s *IndexScan) Close() error { s.td = nil; return nil }
 type Filter struct {
 	Input Operator
 	Pred  Expr
+
+	in     Batch         // batch-mode input scratch
+	vp     *vecPred      // compiled predicate, nil when the shape is not covered
+	rhs    []types.Value // vp's per-batch right-hand-side scratch
+	pushed bool          // vp was pushed down into the child scan
 }
 
-func (f *Filter) Columns() []ColInfo  { return f.Input.Columns() }
-func (f *Filter) Open(ctx *Ctx) error { return f.Input.Open(ctx) }
+func (f *Filter) Columns() []ColInfo { return f.Input.Columns() }
+
+func (f *Filter) Open(ctx *Ctx) error {
+	f.vp, f.pushed = nil, false
+	if !ctx.RowMode {
+		f.vp = compilePred(f.Pred)
+		if f.vp != nil {
+			// Fuse into a child scan: the predicate then runs inside the
+			// scan loop and rejected rows never enter a batch. (Each
+			// execution works on a private CloneOperator tree, so the
+			// pushed state is never shared across executions.)
+			switch in := f.Input.(type) {
+			case *Scan:
+				in.pred, f.pushed = f.vp, true
+			case *IndexScan:
+				in.pred, f.pushed = f.vp, true
+			}
+		}
+	}
+	return f.Input.Open(ctx)
+}
 
 func (f *Filter) Next(ctx *Ctx) (types.Row, error) {
 	for {
@@ -314,12 +437,51 @@ func (f *Filter) Next(ctx *Ctx) (types.Row, error) {
 		if err != nil || row == nil {
 			return row, err
 		}
-		ok, err := EvalBool(f.Pred, row, ctx.Params)
+		ok, err := EvalBool(f.Pred, row, &ctx.Env)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
 			return row, nil
+		}
+	}
+}
+
+// BatchNext keeps pulling input batches until at least one row passes the
+// predicate (or EOS), so an all-filtered batch never reads as end of stream.
+func (f *Filter) BatchNext(ctx *Ctx, b *Batch) error {
+	if f.pushed {
+		// The child scan already applies the predicate.
+		return NextBatch(ctx, f.Input, b)
+	}
+	b.Rows = b.Rows[:0]
+	f.in.Ephemeral = b.Ephemeral // pass-through rows: caller's promise extends
+	for {
+		if err := NextBatch(ctx, f.Input, &f.in); err != nil {
+			return err
+		}
+		if len(f.in.Rows) == 0 {
+			return nil
+		}
+		if f.vp != nil {
+			var err error
+			b.Rows, f.rhs, err = f.vp.sel(f.in.Rows, b.Rows, f.rhs, &ctx.Env)
+			if err != nil {
+				return err
+			}
+		} else {
+			for _, row := range f.in.Rows {
+				ok, err := EvalBool(f.Pred, row, &ctx.Env)
+				if err != nil {
+					return err
+				}
+				if ok {
+					b.Rows = append(b.Rows, row)
+				}
+			}
+		}
+		if len(b.Rows) > 0 {
+			return nil
 		}
 	}
 }
@@ -344,7 +506,7 @@ type StartupFilter struct {
 func (s *StartupFilter) Columns() []ColInfo { return s.Input.Columns() }
 
 func (s *StartupFilter) Open(ctx *Ctx) error {
-	ok, err := EvalBool(s.Guard, nil, ctx.Params)
+	ok, err := EvalBool(s.Guard, nil, &ctx.Env)
 	if err != nil {
 		return err
 	}
@@ -372,6 +534,15 @@ func (s *StartupFilter) Next(ctx *Ctx) (types.Row, error) {
 	return s.Input.Next(ctx)
 }
 
+// BatchNext passes batches through when the guard held at Open.
+func (s *StartupFilter) BatchNext(ctx *Ctx, b *Batch) error {
+	if !s.active {
+		b.Rows = b.Rows[:0]
+		return nil
+	}
+	return NextBatch(ctx, s.Input, b)
+}
+
 func (s *StartupFilter) Close() error {
 	if !s.active {
 		return nil
@@ -386,10 +557,34 @@ type Project struct {
 	Input Operator
 	Exprs []Expr
 	Cols  []ColInfo
+
+	in    Batch         // batch-mode input scratch
+	arena rowArena      // output rows for batch mode (durable consumers)
+	cols  []int         // all-ColExpr gather plan, nil when any expr is general
+	slab  []types.Value // recycled output storage for ephemeral consumers
 }
 
-func (p *Project) Columns() []ColInfo  { return p.Cols }
-func (p *Project) Open(ctx *Ctx) error { return p.Input.Open(ctx) }
+func (p *Project) Columns() []ColInfo { return p.Cols }
+
+func (p *Project) Open(ctx *Ctx) error {
+	p.cols = nil
+	if !ctx.RowMode {
+		cols := make([]int, len(p.Exprs))
+		gather := true
+		for i, e := range p.Exprs {
+			c, isCol := e.(*ColExpr)
+			if !isCol {
+				gather = false
+				break
+			}
+			cols[i] = c.I
+		}
+		if gather {
+			p.cols = cols
+		}
+	}
+	return p.Input.Open(ctx)
+}
 
 func (p *Project) Next(ctx *Ctx) (types.Row, error) {
 	row, err := p.Input.Next(ctx)
@@ -398,13 +593,73 @@ func (p *Project) Next(ctx *Ctx) (types.Row, error) {
 	}
 	out := make(types.Row, len(p.Exprs))
 	for i, e := range p.Exprs {
-		v, err := e.Eval(row, ctx.Params)
+		v, err := e.Eval(row, &ctx.Env)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = v
 	}
 	return out, nil
+}
+
+// BatchNext projects a whole input batch, carving output rows out of a
+// chunked arena instead of one make per row. For a durable consumer, arena
+// chunks are never reused, so emitted rows stay valid for the life of the
+// result; an Ephemeral consumer instead gets rows carved from one recycled
+// slab, making the steady-state projection allocation-free. All-column
+// projections gather values by index without touching the expression
+// interpreter.
+func (p *Project) BatchNext(ctx *Ctx, b *Batch) error {
+	p.in.Ephemeral = true // projected values are copied out immediately
+	if err := NextBatch(ctx, p.Input, &p.in); err != nil {
+		return err
+	}
+	b.Rows = b.Rows[:0]
+	width := len(p.Exprs)
+	need := len(p.in.Rows) * width
+	var slab []types.Value
+	if b.Ephemeral {
+		if cap(p.slab) < need {
+			p.slab = make([]types.Value, need)
+		}
+		slab = p.slab[:need]
+	} else {
+		p.arena.hint(need)
+	}
+	for _, row := range p.in.Rows {
+		var out types.Row
+		if slab != nil {
+			out, slab = types.Row(slab[:width:width]), slab[width:]
+		} else {
+			out = p.arena.alloc(width)
+		}
+		if p.cols != nil && gatherRow(out, row, p.cols) {
+			b.Rows = append(b.Rows, out)
+			continue
+		}
+		for i, e := range p.Exprs {
+			v, err := e.Eval(row, &ctx.Env)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		b.Rows = append(b.Rows, out)
+	}
+	return nil
+}
+
+// gatherRow copies the indexed columns of row into out, reporting false on
+// an out-of-range ordinal (the caller's interpreted loop then surfaces the
+// proper error).
+func gatherRow(out, row types.Row, cols []int) bool {
+	for i, c := range cols {
+		if c < 0 || c >= len(row) {
+			return false
+		}
+		out[i] = row[c]
+	}
+	return true
 }
 
 func (p *Project) Close() error { return p.Input.Close() }
@@ -422,7 +677,7 @@ type Limit struct {
 func (l *Limit) Columns() []ColInfo { return l.Input.Columns() }
 
 func (l *Limit) Open(ctx *Ctx) error {
-	v, err := l.N.Eval(nil, ctx.Params)
+	v, err := l.N.Eval(nil, &ctx.Env)
 	if err != nil {
 		return err
 	}
@@ -440,6 +695,22 @@ func (l *Limit) Next(ctx *Ctx) (types.Row, error) {
 	}
 	l.left--
 	return row, nil
+}
+
+// BatchNext truncates the child batch to the rows still owed.
+func (l *Limit) BatchNext(ctx *Ctx, b *Batch) error {
+	if l.left <= 0 {
+		b.Rows = b.Rows[:0]
+		return nil
+	}
+	if err := NextBatch(ctx, l.Input, b); err != nil {
+		return err
+	}
+	if int64(len(b.Rows)) > l.left {
+		b.Rows = b.Rows[:l.left]
+	}
+	l.left -= int64(len(b.Rows))
+	return nil
 }
 
 func (l *Limit) Close() error { return l.Input.Close() }
@@ -483,7 +754,7 @@ func (s *Sort) Open(ctx *Ctx) error {
 		}
 		keys := make(types.Row, len(s.Keys))
 		for i, k := range s.Keys {
-			v, err := k.E.Eval(row, ctx.Params)
+			v, err := k.E.Eval(row, &ctx.Env)
 			if err != nil {
 				return err
 			}
@@ -517,6 +788,12 @@ func (s *Sort) Next(*Ctx) (types.Row, error) {
 	row := s.rows[s.pos]
 	s.pos++
 	return row, nil
+}
+
+// BatchNext slices the materialized output.
+func (s *Sort) BatchNext(_ *Ctx, b *Batch) error {
+	sliceBatch(s.rows, &s.pos, b)
+	return nil
 }
 
 func (s *Sort) Close() error {
@@ -589,7 +866,7 @@ func (s *TopN) Open(ctx *Ctx) error {
 	if err := s.Input.Open(ctx); err != nil {
 		return err
 	}
-	nv, err := s.N.Eval(nil, ctx.Params)
+	nv, err := s.N.Eval(nil, &ctx.Env)
 	if err != nil {
 		return err
 	}
@@ -611,7 +888,7 @@ func (s *TopN) Open(ctx *Ctx) error {
 		}
 		keys := make(types.Row, len(s.Keys))
 		for i, k := range s.Keys {
-			v, err := k.E.Eval(row, ctx.Params)
+			v, err := k.E.Eval(row, &ctx.Env)
 			if err != nil {
 				return err
 			}
@@ -643,6 +920,12 @@ func (s *TopN) Next(*Ctx) (types.Row, error) {
 	return row, nil
 }
 
+// BatchNext slices the materialized output.
+func (s *TopN) BatchNext(_ *Ctx, b *Batch) error {
+	sliceBatch(s.rows, &s.pos, b)
+	return nil
+}
+
 func (s *TopN) Close() error {
 	s.rows = nil
 	return s.Input.Close()
@@ -664,6 +947,13 @@ type HashJoin struct {
 	shared  *sharedBuild // when set, the build runs once and is read by all workers
 	pending []types.Row
 	cols    []ColInfo
+
+	in      Batch     // batch-mode probe input scratch
+	inPos   int       // cursor into in.Rows
+	keyBuf  types.Row // probe-key scratch
+	rkeyBuf types.Row // candidate right-key scratch
+	arena   rowArena  // batch-mode output rows
+	nullPad types.Row // NULL pad for unmatched outer rows
 }
 
 func (j *HashJoin) Columns() []ColInfo {
@@ -690,42 +980,51 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		j.table = table
 	}
 	j.pending = nil
+	j.in.Rows = j.in.Rows[:0]
+	j.inPos = 0
+	j.nullPad = make(types.Row, len(j.Right.Columns()))
 	return j.Left.Open(ctx)
 }
 
 // buildHashTable opens, drains and closes the build side into a hash table
-// keyed by the join-key hash. Rows with NULL keys are dropped (they never
-// join).
+// keyed by the join-key hash. Keys are evaluated into one reusable buffer
+// and only their hash is kept — the probe side re-verifies candidates by
+// value, so the build allocates nothing per row beyond the bucket slices.
+// Rows with NULL keys are dropped (they never join).
 func buildHashTable(ctx *Ctx, build Operator, keys []Expr, est float64) (map[uint64][]types.Row, error) {
 	if err := build.Open(ctx); err != nil {
 		return nil, err
 	}
 	defer build.Close()
 	table := make(map[uint64][]types.Row, preallocSize(est, 1<<16))
+	var b Batch
+	keyBuf := make(types.Row, 0, len(keys))
 	for {
-		row, err := build.Next(ctx)
-		if err != nil {
+		if err := NextBatch(ctx, build, &b); err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if len(b.Rows) == 0 {
 			return table, nil
 		}
-		key, null, err := evalKeys(keys, row, ctx.Params)
-		if err != nil {
-			return nil, err
+		for _, row := range b.Rows {
+			key, null, err := evalKeysInto(keys, row, &ctx.Env, keyBuf)
+			keyBuf = key[:0]
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			h := key.Hash()
+			table[h] = append(table[h], row)
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		h := key.Hash()
-		table[h] = append(table[h], row)
 	}
 }
 
-func evalKeys(keys []Expr, row types.Row, p Params) (types.Row, bool, error) {
+func evalKeys(keys []Expr, row types.Row, env *Env) (types.Row, bool, error) {
 	out := make(types.Row, len(keys))
 	for i, k := range keys {
-		v, err := k.Eval(row, p)
+		v, err := k.Eval(row, env)
 		if err != nil {
 			return nil, false, err
 		}
@@ -735,6 +1034,23 @@ func evalKeys(keys []Expr, row types.Row, p Params) (types.Row, bool, error) {
 		out[i] = v
 	}
 	return out, false, nil
+}
+
+// evalKeysInto is evalKeys writing into a reusable buffer; the returned
+// slice aliases buf and is only valid until the next call.
+func evalKeysInto(keys []Expr, row types.Row, env *Env, buf types.Row) (types.Row, bool, error) {
+	buf = buf[:0]
+	for _, k := range keys {
+		v, err := k.Eval(row, env)
+		if err != nil {
+			return buf, false, err
+		}
+		if v.IsNull() {
+			return buf, true, nil
+		}
+		buf = append(buf, v)
+	}
+	return buf, false, nil
 }
 
 func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
@@ -748,15 +1064,14 @@ func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
 		if err != nil || left == nil {
 			return left, err
 		}
-		key, null, err := evalKeys(j.LeftKeys, left, ctx.Params)
+		key, null, err := evalKeys(j.LeftKeys, left, &ctx.Env)
 		if err != nil {
 			return nil, err
 		}
 		var matched bool
 		if !null {
-			rightWidth := len(j.Right.Columns())
 			for _, right := range j.table[key.Hash()] {
-				rkey, _, err := evalKeys(j.RightKeys, right, ctx.Params)
+				rkey, _, err := evalKeys(j.RightKeys, right, &ctx.Env)
 				if err != nil {
 					return nil, err
 				}
@@ -764,7 +1079,7 @@ func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
 					continue // hash collision
 				}
 				combined := concatRows(left, right)
-				ok, err := EvalBool(j.Residual, combined, ctx.Params)
+				ok, err := EvalBool(j.Residual, combined, &ctx.Env)
 				if err != nil {
 					return nil, err
 				}
@@ -773,12 +1088,71 @@ func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
 					j.pending = append(j.pending, combined)
 				}
 			}
-			_ = rightWidth
 		}
 		if !matched && j.LeftOuter {
 			j.pending = append(j.pending, concatRows(left, make(types.Row, len(j.Right.Columns()))))
 		}
 	}
+}
+
+// BatchNext probes a batch of left rows against the build table, reusing the
+// probe-key buffer and carving output rows from the arena. The output batch
+// may exceed BatchSize when a probe row matches many build rows.
+func (j *HashJoin) BatchNext(ctx *Ctx, b *Batch) error {
+	b.Rows = b.Rows[:0]
+	// Probe rows only ever reach the output as arena concat copies, so the
+	// probe side may recycle delivered rows once this window is consumed.
+	j.in.Ephemeral = true
+	for len(b.Rows) < BatchSize {
+		if j.inPos >= len(j.in.Rows) {
+			if err := NextBatch(ctx, j.Left, &j.in); err != nil {
+				return err
+			}
+			j.inPos = 0
+			if len(j.in.Rows) == 0 {
+				return nil
+			}
+			// Size arena refills to this batch's expected output (~one
+			// match per probe row); high-fanout probes refill at the same
+			// granularity.
+			j.arena.hint(len(j.in.Rows) * len(j.Columns()))
+		}
+		for j.inPos < len(j.in.Rows) && len(b.Rows) < BatchSize {
+			left := j.in.Rows[j.inPos]
+			j.inPos++
+			key, null, err := evalKeysInto(j.LeftKeys, left, &ctx.Env, j.keyBuf)
+			j.keyBuf = key[:0]
+			if err != nil {
+				return err
+			}
+			matched := false
+			if !null {
+				for _, right := range j.table[key.Hash()] {
+					rkey, _, err := evalKeysInto(j.RightKeys, right, &ctx.Env, j.rkeyBuf)
+					j.rkeyBuf = rkey[:0]
+					if err != nil {
+						return err
+					}
+					if types.CompareRows(key, rkey) != 0 {
+						continue // hash collision
+					}
+					combined := j.arena.concat(left, right)
+					ok, err := EvalBool(j.Residual, combined, &ctx.Env)
+					if err != nil {
+						return err
+					}
+					if ok {
+						matched = true
+						b.Rows = append(b.Rows, combined)
+					}
+				}
+			}
+			if !matched && j.LeftOuter {
+				b.Rows = append(b.Rows, j.arena.concat(left, j.nullPad))
+			}
+		}
+	}
+	return nil
 }
 
 func concatRows(l, r types.Row) types.Row {
@@ -849,7 +1223,7 @@ func (j *NestedLoop) Next(ctx *Ctx) (types.Row, error) {
 			right := j.rightRows[j.ri]
 			j.ri++
 			combined := concatRows(j.left, right)
-			ok, err := EvalBool(j.Pred, combined, ctx.Params)
+			ok, err := EvalBool(j.Pred, combined, &ctx.Env)
 			if err != nil {
 				return nil, err
 			}
@@ -907,6 +1281,21 @@ func (u *UnionAll) Next(ctx *Ctx) (types.Row, error) {
 	return nil, nil
 }
 
+// BatchNext delegates to the current input, advancing on its EOS.
+func (u *UnionAll) BatchNext(ctx *Ctx, b *Batch) error {
+	for u.cur < len(u.Inputs) {
+		if err := NextBatch(ctx, u.Inputs[u.cur], b); err != nil {
+			return err
+		}
+		if len(b.Rows) > 0 {
+			return nil
+		}
+		u.cur++
+	}
+	b.Rows = b.Rows[:0]
+	return nil
+}
+
 func (u *UnionAll) Close() error {
 	var first error
 	for _, in := range u.Inputs {
@@ -921,7 +1310,8 @@ func (u *UnionAll) Close() error {
 
 // Remote is the DataTransfer operator: it executes SQL text on the backend
 // server and streams the result. Its appearance in a plan is exactly where
-// the optimizer placed a DataTransfer enforcer (paper §5).
+// the optimizer placed a DataTransfer enforcer (paper §5). It has no native
+// batch path on purpose — it exercises the NextBatch adapter.
 type Remote struct {
 	SQLText string
 	Cols    []ColInfo
@@ -996,7 +1386,7 @@ func (v *Values) Next(ctx *Ctx) (types.Row, error) {
 	v.pos++
 	out := make(types.Row, len(exprs))
 	for i, e := range exprs {
-		val, err := e.Eval(nil, ctx.Params)
+		val, err := e.Eval(nil, &ctx.Env)
 		if err != nil {
 			return nil, err
 		}
@@ -1012,6 +1402,7 @@ func (v *Values) Close() error { return nil }
 // VirtualScan yields the rows of a virtual system table (sys.*). The
 // provider is called once per Open so a query sees one consistent
 // materialization; there is no storage, no transaction and no index path.
+// Like Remote, it deliberately relies on the NextBatch adapter.
 type VirtualScan struct {
 	Name string // full dotted table name, e.g. "sys.query_stats"
 	Rows func() []types.Row

@@ -129,6 +129,7 @@ func (e *Exchange) runWorker(i int, op Operator, ctx *Ctx, parent *Ctx, done <-c
 			return false
 		}
 	}
+	var in Batch
 	for {
 		select {
 		case <-e.abort:
@@ -138,18 +139,19 @@ func (e *Exchange) runWorker(i int, op Operator, ctx *Ctx, parent *Ctx, done <-c
 			return
 		default:
 		}
-		row, err := op.Next(ctx)
-		if err != nil {
+		// Pull a whole batch through the worker pipeline; the channel send
+		// needs an owned slice, so rows are copied out of the reused window.
+		if err := NextBatch(ctx, op, &in); err != nil {
 			e.fail(err)
 			return
 		}
-		if row == nil {
+		if len(in.Rows) == 0 {
 			flush()
 			return
 		}
-		rows++
-		batch = append(batch, row)
-		if len(batch) == exchangeBatch {
+		rows += int64(len(in.Rows))
+		batch = append(batch, in.Rows...)
+		if len(batch) >= exchangeBatch {
 			if !flush() {
 				return
 			}
@@ -183,6 +185,26 @@ func (e *Exchange) Next(*Ctx) (types.Row, error) {
 		}
 		e.buf, e.bufPos = batch, 0
 	}
+}
+
+// BatchNext hands a whole worker chunk to the parent per call instead of
+// one row per virtual call.
+func (e *Exchange) BatchNext(_ *Ctx, b *Batch) error {
+	if e.bufPos < len(e.buf) {
+		b.Rows = append(b.Rows[:0], e.buf[e.bufPos:]...)
+		e.bufPos = len(e.buf)
+		return nil
+	}
+	batch, ok := <-e.ch
+	if !ok {
+		e.mu.Lock()
+		err := e.err
+		e.mu.Unlock()
+		b.Rows = b.Rows[:0]
+		return err
+	}
+	b.Rows = append(b.Rows[:0], batch...)
+	return nil
 }
 
 func (e *Exchange) Close() error {

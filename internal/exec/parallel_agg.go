@@ -76,6 +76,12 @@ func (p *PartialAgg) Next(*Ctx) (types.Row, error) {
 	return row, nil
 }
 
+// BatchNext slices the materialized output.
+func (p *PartialAgg) BatchNext(_ *Ctx, b *Batch) error {
+	sliceBatch(p.out, &p.pos, b)
+	return nil
+}
+
 func (p *PartialAgg) Close() error {
 	p.out = nil
 	return nil
@@ -198,32 +204,34 @@ func (f *FinalAgg) Open(ctx *Ctx) error {
 	if f.GroupKeys == 0 {
 		groups[(types.Row{}).Hash()] = []*finalGroup{newGroup(types.Row{})}
 	}
+	var b Batch
 	for {
-		row, err := f.Input.Next(ctx)
-		if err != nil {
+		if err := NextBatch(ctx, f.Input, &b); err != nil {
 			return err
 		}
-		if row == nil {
+		if len(b.Rows) == 0 {
 			break
 		}
-		keys := types.Row(row[:f.GroupKeys])
-		hash := keys.Hash()
-		var g *finalGroup
-		for _, cand := range groups[hash] {
-			if types.RowsEqual(cand.keys, keys) {
-				g = cand
-				break
+		for _, row := range b.Rows {
+			keys := types.Row(row[:f.GroupKeys])
+			hash := keys.Hash()
+			var g *finalGroup
+			for _, cand := range groups[hash] {
+				if types.RowsEqual(cand.keys, keys) {
+					g = cand
+					break
+				}
 			}
-		}
-		if g == nil {
-			g = newGroup(keys)
-			groups[hash] = append(groups[hash], g)
-		}
-		off := f.GroupKeys
-		for i, spec := range f.Aggs {
-			w := spec.PartialWidth()
-			g.states[i].merge(spec, types.Row(row[off:off+w]))
-			off += w
+			if g == nil {
+				g = newGroup(keys)
+				groups[hash] = append(groups[hash], g)
+			}
+			off := f.GroupKeys
+			for i, spec := range f.Aggs {
+				w := spec.PartialWidth()
+				g.states[i].merge(spec, types.Row(row[off:off+w]))
+				off += w
+			}
 		}
 	}
 	f.Input.Close()
@@ -247,6 +255,12 @@ func (f *FinalAgg) Next(*Ctx) (types.Row, error) {
 	row := f.out[f.pos]
 	f.pos++
 	return row, nil
+}
+
+// BatchNext slices the materialized output.
+func (f *FinalAgg) BatchNext(_ *Ctx, b *Batch) error {
+	sliceBatch(f.out, &f.pos, b)
+	return nil
 }
 
 func (f *FinalAgg) Close() error {

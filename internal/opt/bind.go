@@ -101,7 +101,7 @@ func compileExpr(e sql.Expr, s *scope) (exec.Expr, error) {
 				return nil, err
 			}
 		}
-		return &exec.InMatch{X: xx, List: list, Not: x.Not}, nil
+		return exec.NewInMatch(xx, list, x.Not), nil
 	case *sql.BetweenExpr:
 		xx, err := compileExpr(x.X, s)
 		if err != nil {

@@ -22,6 +22,8 @@ type Plan struct {
 
 	UsedViews     []string // cached/materialized views the plan reads
 	RemoteSQL     []string // deparsed remote subexpressions (DataTransfer inputs)
+	Params        []string // parameter names in dense slot order (see exec.AssignParamSlots)
+	NeedsParams   bool     // remote parts forward the named-parameter map verbatim
 	Dynamic       bool     // contains a ChoosePlan
 	FullyLocal    bool     // no DataTransfer anywhere
 	FullyRemote   bool     // a single DataTransfer around the whole query
@@ -150,6 +152,11 @@ func (pl *planner) finish(p *plan) (*Plan, error) {
 	}
 	collectRemote(mat.op, &out.RemoteSQL)
 	out.FullyLocal = len(out.RemoteSQL) == 0
+	// Burn dense parameter slots into the compiled expressions once per plan,
+	// so per-row parameter lookups on the hot path are slice loads. Remote
+	// parts still need the named map forwarded to the backend.
+	out.Params = exec.AssignParamSlots(mat.op)
+	out.NeedsParams = len(out.RemoteSQL) > 0
 	if r, ok := mat.op.(*exec.Remote); ok {
 		_ = r
 		out.FullyRemote = true

@@ -68,6 +68,7 @@ type variantStats struct {
 	lastMs     float64
 	plan       string    // optimizer EXPLAIN text, captured on first plan
 	analyzed   string    // most recent EXPLAIN ANALYZE (slow-query capture)
+	literals   string    // bound literal values of the captured execution
 	analyzedAt time.Time // zero until the first capture
 }
 
@@ -245,7 +246,11 @@ func (s *Store) WantCapture(shape string) bool {
 }
 
 // StoreAnalyzed saves the EXPLAIN ANALYZE tree captured for a slow shape.
-func (s *Store) StoreAnalyzed(shape, variant, text string) {
+// literals records the auto-parameterized literal values bound to the
+// captured execution ("" when the query was not auto-parameterized), so a
+// slow normalized shape can be replayed with the exact values that were
+// slow.
+func (s *Store) StoreAnalyzed(shape, variant, text, literals string) {
 	if shape == "" || text == "" {
 		return
 	}
@@ -257,6 +262,7 @@ func (s *Store) StoreAnalyzed(shape, variant, text string) {
 	}
 	vs := ent.variant(variant)
 	vs.analyzed = text
+	vs.literals = literals
 	vs.analyzedAt = time.Now()
 	metrics.Default.Counter("querystore.slow_captures").Add(1)
 }
@@ -298,6 +304,7 @@ type VariantSnapshot struct {
 	MaxStale   float64 `json:"max_staleness_seconds"`
 	Plan       string  `json:"plan,omitempty"`
 	Analyzed   string  `json:"analyzed,omitempty"`
+	Literals   string  `json:"literals,omitempty"`
 }
 
 // ShapeSnapshot is the exported per-shape view: variant stats plus a
@@ -333,6 +340,7 @@ func (vs *variantStats) snapshot(name string) VariantSnapshot {
 		MaxStale:   vs.maxStale,
 		Plan:       vs.plan,
 		Analyzed:   vs.analyzed,
+		Literals:   vs.literals,
 	}
 }
 

@@ -128,7 +128,7 @@ func TestSlowCaptureArmAndRearm(t *testing.T) {
 	if s.WantCapture("q") {
 		t.Fatal("WantCapture did not clear the flag")
 	}
-	s.StoreAnalyzed("q", "local", "Scan t (rows=1)")
+	s.StoreAnalyzed("q", "local", "Scan t (rows=1)", "@__p0 = 7")
 	// Within the re-arm interval further slow runs must not re-arm.
 	s.Record(slow)
 	if s.WantCapture("q") {
@@ -143,6 +143,9 @@ func TestSlowCaptureArmAndRearm(t *testing.T) {
 	snaps := s.Snapshot()
 	if snaps[0].Variants[0].Analyzed != "Scan t (rows=1)" {
 		t.Fatalf("analyzed plan not retained: %q", snaps[0].Variants[0].Analyzed)
+	}
+	if snaps[0].Variants[0].Literals != "@__p0 = 7" {
+		t.Fatalf("captured literals not retained: %q", snaps[0].Variants[0].Literals)
 	}
 }
 
@@ -207,7 +210,7 @@ func TestConcurrentRecordSnapshot(t *testing.T) {
 				s.Record(Exec{Shape: fmt.Sprintf("q%d", i%40), Variant: "local", Duration: time.Microsecond, Rows: 1})
 				l.Emit("tick", "", "g", fmt.Sprint(g))
 				if s.WantCapture(fmt.Sprintf("q%d", i%40)) {
-					s.StoreAnalyzed(fmt.Sprintf("q%d", i%40), "local", "x")
+					s.StoreAnalyzed(fmt.Sprintf("q%d", i%40), "local", "x", "")
 				}
 			}
 		}(g)

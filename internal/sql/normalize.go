@@ -1,0 +1,397 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"mtcache/internal/types"
+)
+
+// Auto-parameterization: a zero-allocation tokenizer that rewrites the
+// literals of a SELECT into positional parameters (@__p0, @__p1, ...) and
+// renders the rest of the text in canonical token form. Shape-identical
+// queries — same SQL modulo literal values, whitespace, comments and keyword
+// case — normalize to the same key, so the engine's plan cache holds ONE
+// plan per query shape and repeated literal variants skip parsing and
+// optimization entirely (paper §5.1: cached plans "avoid the need for
+// frequent reoptimization").
+//
+// The normalizer mirrors the lexer's token rules exactly; its output is
+// itself parseable SQL, so on a cache miss the engine parses the key (not
+// the original text) and the resulting statement deparse — the plan-cache
+// key — is canonical for the shape.
+
+// autoParamPrefix starts every generated parameter name. User queries using
+// @__p<digits> parameters are rejected from auto-parameterization so bound
+// literals can never collide with explicit parameters.
+const autoParamPrefix = "__p"
+
+// autoParamNames precomputes the common names so hot-path binding and key
+// building never format strings.
+var autoParamNames = func() [64]string {
+	var a [64]string
+	for i := range a {
+		a[i] = autoParamPrefix + strconv.Itoa(i)
+	}
+	return a
+}()
+
+// AutoParamName returns the generated parameter name for literal index i.
+func AutoParamName(i int) string {
+	if i >= 0 && i < len(autoParamNames) {
+		return autoParamNames[i]
+	}
+	return autoParamPrefix + strconv.Itoa(i)
+}
+
+// AutoParamIndex reports whether name is a generated auto-parameter name
+// (__pN) and, if so, the literal index N.
+func AutoParamIndex(name string) (int, bool) {
+	if len(name) <= len(autoParamPrefix) || !strings.HasPrefix(name, autoParamPrefix) {
+		return 0, false
+	}
+	n := 0
+	for i := len(autoParamPrefix); i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// Normalizer holds the reusable buffers of one normalization worker. Zero
+// value is ready to use; after warm-up, Normalize performs no allocations.
+// Not safe for concurrent use — pool instances across goroutines.
+type Normalizer struct {
+	buf  []byte        // normalized text under construction
+	args []types.Value // literal values in source order
+	kw   []byte        // upper-cased ident scratch for keyword lookup
+
+	pendingIdent string // ident delayed until the next token decides its case
+}
+
+// Normalize rewrites src's literals to @__pN parameters. It returns the
+// normalized key (valid until the next call on this Normalizer), the literal
+// values in source order, and ok=false when src is not an
+// auto-parameterizable SELECT (not a SELECT, lexically malformed, or using
+// explicit @__pN parameters). A false return is NOT an error — the caller
+// falls back to the ordinary parse path, which reports any real syntax
+// error against the original text.
+func (n *Normalizer) Normalize(src string) (key []byte, args []types.Value, ok bool) {
+	n.buf = n.buf[:0]
+	n.args = n.args[:0]
+	n.pendingIdent = ""
+	pos := 0
+	first := true
+	for {
+		pos = skipSpaceAndCommentsAt(src, pos)
+		if pos >= len(src) {
+			break
+		}
+		c := src[pos]
+		switch {
+		case c == '@':
+			pos++
+			start := pos
+			pos = identEnd(src, pos)
+			if pos == start {
+				return nil, nil, false // lone @
+			}
+			name := src[start:pos]
+			if _, isAuto := AutoParamIndex(name); isAuto {
+				return nil, nil, false // explicit @__pN would collide
+			}
+			n.flushIdent(false)
+			n.sp()
+			n.buf = append(n.buf, '@')
+			n.buf = append(n.buf, name...)
+		case isIdentStart(rune(c)):
+			start := pos
+			pos = identEnd(src, pos)
+			id := src[start:pos]
+			n.kw = appendUpperASCII(n.kw[:0], id)
+			if keywords[string(n.kw)] {
+				if first && string(n.kw) != "SELECT" {
+					return nil, nil, false
+				}
+				n.flushIdent(false)
+				n.sp()
+				n.buf = append(n.buf, n.kw...)
+			} else {
+				if first {
+					return nil, nil, false
+				}
+				// Delay: upper-cased iff the next token is '(' (a function
+				// name, stored upper-cased by the parser).
+				n.flushIdent(false)
+				n.pendingIdent = id
+			}
+		case c == '[':
+			end := strings.IndexByte(src[pos:], ']')
+			if end < 0 {
+				return nil, nil, false // unterminated [identifier
+			}
+			if first {
+				return nil, nil, false
+			}
+			n.flushIdent(false)
+			n.sp()
+			n.buf = append(n.buf, src[pos:pos+end+1]...)
+			pos += end + 1
+		case c >= '0' && c <= '9' || c == '.' && pos+1 < len(src) && isDigit(src[pos+1]):
+			if first {
+				return nil, nil, false
+			}
+			start := pos
+			pos = numberEnd(src, pos)
+			text := src[start:pos]
+			var v types.Value
+			if strings.ContainsAny(text, ".eE") {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, nil, false
+				}
+				v = types.NewFloat(f)
+			} else {
+				i, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, nil, false
+				}
+				v = types.NewInt(i)
+			}
+			n.flushIdent(false)
+			n.emitParam(v)
+		case c == '\'':
+			if first {
+				return nil, nil, false
+			}
+			s, end, strOK := scanString(src, pos)
+			if !strOK {
+				return nil, nil, false
+			}
+			pos = end
+			n.flushIdent(false)
+			n.emitParam(types.NewString(s))
+		default:
+			op, end, opOK := scanOperator(src, pos)
+			if !opOK {
+				return nil, nil, false
+			}
+			if first {
+				return nil, nil, false
+			}
+			pos = end
+			if !n.flushIdent(op == "(") {
+				return nil, nil, false
+			}
+			n.sp()
+			n.buf = append(n.buf, op...)
+		}
+		first = false
+	}
+	if first {
+		return nil, nil, false // empty input
+	}
+	n.flushIdent(false)
+	return n.buf, n.args, true
+}
+
+// sp separates tokens with a single space.
+func (n *Normalizer) sp() {
+	if len(n.buf) > 0 {
+		n.buf = append(n.buf, ' ')
+	}
+}
+
+// flushIdent emits the delayed identifier, upper-cased when it turned out to
+// be a function name (asFunc: the next token is an opening parenthesis).
+// Returns false — the caller must bail — for a function name that is not
+// valid UTF-8: upper-casing would replace the bad bytes with U+FFFD and
+// diverge from the written form the lexer accepted byte-for-byte.
+func (n *Normalizer) flushIdent(asFunc bool) bool {
+	if n.pendingIdent == "" {
+		return true
+	}
+	n.sp()
+	if asFunc {
+		if !utf8.ValidString(n.pendingIdent) {
+			return false
+		}
+		n.buf = appendUpper(n.buf, n.pendingIdent)
+	} else {
+		n.buf = append(n.buf, n.pendingIdent...)
+	}
+	n.pendingIdent = ""
+	return true
+}
+
+// emitParam records one literal value and writes its @__pN placeholder.
+func (n *Normalizer) emitParam(v types.Value) {
+	name := AutoParamName(len(n.args))
+	n.args = append(n.args, v)
+	n.sp()
+	n.buf = append(n.buf, '@')
+	n.buf = append(n.buf, name...)
+}
+
+// skipSpaceAndCommentsAt mirrors lexer.skipSpaceAndComments on a raw string.
+func skipSpaceAndCommentsAt(src string, pos int) int {
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pos++
+		case c == '-' && pos+1 < len(src) && src[pos+1] == '-':
+			nl := strings.IndexByte(src[pos:], '\n')
+			if nl < 0 {
+				return len(src)
+			}
+			pos += nl + 1
+		case c == '/' && pos+1 < len(src) && src[pos+1] == '*':
+			end := strings.Index(src[pos+2:], "*/")
+			if end < 0 {
+				return len(src)
+			}
+			pos += end + 4
+		default:
+			return pos
+		}
+	}
+	return pos
+}
+
+// identEnd mirrors lexer.ident.
+func identEnd(src string, pos int) int {
+	for pos < len(src) && isIdentCont(rune(src[pos])) {
+		pos++
+	}
+	return pos
+}
+
+// numberEnd mirrors lexer.number.
+func numberEnd(src string, pos int) int {
+	seenDot := false
+	for pos < len(src) {
+		c := src[pos]
+		if isDigit(c) {
+			pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && pos+1 < len(src) &&
+			(isDigit(src[pos+1]) || src[pos+1] == '-' || src[pos+1] == '+') {
+			pos += 2
+			for pos < len(src) && isDigit(src[pos]) {
+				pos++
+			}
+			break
+		}
+		break
+	}
+	return pos
+}
+
+// scanString mirrors lexer.str: returns the unescaped value and the position
+// after the closing quote. Strings without doubled quotes are returned as a
+// zero-copy slice of src.
+func scanString(src string, pos int) (string, int, bool) {
+	pos++ // opening quote
+	start := pos
+	for pos < len(src) {
+		c := src[pos]
+		if c != '\'' {
+			pos++
+			continue
+		}
+		if pos+1 < len(src) && src[pos+1] == '\'' {
+			// Doubled quote: fall back to a building scan (rare).
+			return scanStringSlow(src, start)
+		}
+		return src[start:pos], pos + 1, true
+	}
+	return "", 0, false // unterminated
+}
+
+func scanStringSlow(src string, start int) (string, int, bool) {
+	var b strings.Builder
+	pos := start
+	for pos < len(src) {
+		c := src[pos]
+		if c == '\'' {
+			if pos+1 < len(src) && src[pos+1] == '\'' {
+				b.WriteByte('\'')
+				pos += 2
+				continue
+			}
+			return b.String(), pos + 1, true
+		}
+		b.WriteByte(c)
+		pos++
+	}
+	return "", 0, false
+}
+
+// scanOperator mirrors lexer.operator, including the != / == aliases.
+func scanOperator(src string, pos int) (string, int, bool) {
+	rest := src[pos:]
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(rest, op) {
+			text := op
+			switch op {
+			case "!=":
+				text = "<>"
+			case "==":
+				text = "="
+			}
+			return text, pos + 2, true
+		}
+	}
+	switch c := src[pos]; c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+		return singleCharOps[c], pos + 1, true
+	}
+	return "", 0, false
+}
+
+// singleCharOps interns one-byte operator strings so scanOperator never
+// allocates.
+var singleCharOps = func() [128]string {
+	var a [128]string
+	for _, c := range []byte{'=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';'} {
+		a[c] = string([]byte{c})
+	}
+	return a
+}()
+
+// appendUpperASCII upper-cases ASCII letters only — enough for the keyword
+// lookup, which contains ASCII words exclusively.
+func appendUpperASCII(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// appendUpper upper-cases with full Unicode semantics, matching the
+// strings.ToUpper the parser applies to function names.
+func appendUpper(dst []byte, s string) []byte {
+	for _, r := range s {
+		dst = utf8.AppendRune(dst, unicode.ToUpper(r))
+	}
+	return dst
+}
