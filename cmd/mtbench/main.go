@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mtbench -experiment all
-//	mtbench -experiment scaleout -servers 5 -items 1000 -customers 2880
+//	mtbench -experiment scaleout -scaleout-k 3 -bench-json BENCH_scaleout.json
+//	mtbench -experiment scaleout-sim -servers 5 -items 1000 -customers 2880
 //	mtbench -experiment throughput -clients 16 -bench-json BENCH_multiplex.json
 //	mtbench -experiment mvcc -clients 8 -bench-json BENCH_mvcc.json
 //	mtbench -experiment parallel -parallel-rows 60000 -bench-json BENCH_parallel.json
@@ -13,10 +14,13 @@
 //	mtbench -experiment querystore -bench-json BENCH_querystore.json
 //	mtbench -experiment vectorized -vec-rows 20000 -bench-json BENCH_vectorized.json
 //
-// Experiments: mix, baseline, scaleout, replover, repllat, advisor, chaos,
-// throughput, mvcc, parallel, recovery, querystore, vectorized, all ("all"
-// excludes chaos, throughput, mvcc, parallel, recovery, querystore and
-// vectorized; run them explicitly).
+// Experiments: mix, baseline, scaleout, scaleout-sim, replover, repllat,
+// advisor, chaos, throughput, mvcc, parallel, recovery, querystore,
+// vectorized, all. "scaleout" boots a real fleet — K cache processes against
+// one backend with routed, session-consistent traffic — and measures WIPS;
+// "scaleout-sim" is the calibrated capacity simulation the paper figures are
+// scaled from. ("all" excludes scaleout, chaos, throughput, mvcc, parallel,
+// recovery, querystore and vectorized; run them explicitly.)
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | vectorized | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | scaleout-sim | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | vectorized | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -48,8 +52,23 @@ func main() {
 		parRows     = flag.Int("parallel-rows", 60000, "parallel: fact-table row count")
 		qsIters     = flag.Int("qs-iters", 2000, "querystore: timed point queries per mode")
 		vecRows     = flag.Int("vec-rows", 20000, "vectorized: fact-table row count")
+
+		scaleoutK   = flag.Int("scaleout-k", 3, "scaleout: maximum cache processes to spawn")
+		sessions    = flag.Int("sessions", 4, "scaleout: emulated browser sessions per cache")
+		backendAddr = flag.String("backend-addr", "", "scaleout: route over an already-running backend at this wire address (with -cache-addrs)")
+		cacheAddrs  = flag.String("cache-addrs", "", "scaleout: comma-separated wire addresses of already-running caches (with -backend-addr)")
+		obsAddr     = flag.String("obs", "", "scaleout: observability HTTP address for router metrics; empty disables")
+
+		childName    = flag.String("scaleout-child", "", "internal: run as a scale-out cache child with this server name")
+		childBackend = flag.String("scaleout-backend", "", "internal: backend wire address for -scaleout-child")
+		childPull    = flag.Duration("scaleout-pull", 25*time.Millisecond, "internal: child pull-subscription interval")
 	)
 	flag.Parse()
+
+	if *childName != "" {
+		runScaleoutChild(*childName, *childBackend, *childPull)
+		return
+	}
 	defer writeMetricsJSON(*metricsJSON)
 
 	cfg := tpcw.Config{Items: *items, Customers: *customers, OrdersPerCustomer: 0.9, Seed: 20030609}
@@ -88,7 +107,20 @@ func main() {
 		printVectorized(*vecRows, *benchJSON)
 		return
 	}
-	needsCal := map[string]bool{"baseline": true, "scaleout": true, "replover": true, "repllat": true, "all": true}
+	if *experiment == "scaleout" {
+		runScaleout(scaleoutOpts{
+			cfg:         cfg,
+			maxK:        *scaleoutK,
+			sessions:    *sessions,
+			benchDur:    *benchDur,
+			benchJSON:   *benchJSON,
+			backendAddr: *backendAddr,
+			cacheAddrs:  *cacheAddrs,
+			obsAddr:     *obsAddr,
+		})
+		return
+	}
+	needsCal := map[string]bool{"baseline": true, "scaleout-sim": true, "replover": true, "repllat": true, "all": true}
 	if !needsCal[*experiment] {
 		return
 	}
@@ -108,7 +140,7 @@ func main() {
 	switch *experiment {
 	case "baseline":
 		printBaseline(cal, *servers)
-	case "scaleout":
+	case "scaleout-sim":
 		printScaleout(cal, *servers)
 	case "replover":
 		printReplOverhead(cal)
@@ -167,7 +199,7 @@ func printBaseline(cal *sim.CalibrationResult, servers int) {
 }
 
 func printScaleout(cal *sim.CalibrationResult, servers int) {
-	fmt.Println("== §6.2.1 figures 6(a) and 6(b): scale-out with caching ==")
+	fmt.Println("== §6.2.1 figures 6(a) and 6(b): scale-out with caching (capacity simulation) ==")
 	pts := sim.ExperimentScaleout(cal, servers)
 	fmt.Print(sim.FormatScaleout(pts))
 

@@ -39,6 +39,12 @@ func (s *serialClient) Exec(sqlText string, params exec.Params) (int64, error) {
 	return s.c.Exec(sqlText, params)
 }
 
+func (s *serialClient) ExecLSN(sqlText string, params exec.Params) (int64, storage.LSN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.ExecLSN(sqlText, params)
+}
+
 func (s *serialClient) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -57,7 +63,7 @@ func (s *serialClient) Resume(table string, columns []string, filter, subName st
 	return s.c.Resume(table, columns, filter, subName, fromLSN)
 }
 
-func (s *serialClient) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
+func (s *serialClient) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, storage.LSN, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.c.Pull(subID, max, ack)

@@ -14,6 +14,11 @@
 // disk; on restart the views restore from the checkpoint and resume their
 // change streams at the checkpointed LSN instead of reseeding over the wire.
 //
+// With -serve the cache also listens on a wire address for routed
+// application traffic: a session router (mtcache.NewSessionRouter, or
+// mtbench -experiment scaleout in external mode) pins sessions to caches
+// and gates each session's reads on its read-your-writes watermark.
+//
 // Shell commands: any SQL statement (including EXPLAIN [ANALYZE] <query>);
 // \explain <query>; \top; \slow; \events; \trace; \pull; \checkpoint;
 // \metrics; \quit. The sys.* virtual tables (sys.query_stats,
@@ -47,6 +52,7 @@ func main() {
 		backendAddr = flag.String("backend", "127.0.0.1:7000", "backend wire address")
 		name        = flag.String("name", "cache1", "cache server name")
 		httpAddr    = flag.String("http", "127.0.0.1:8344", "observability HTTP address (/metrics, /debug/trace/last, /debug/querystore); empty disables")
+		serveAddr   = flag.String("serve", "", "wire listen address for routed application traffic (session routers dial this); empty disables")
 		runShell    = flag.Bool("shell", true, "run the interactive SQL shell on stdin (false = headless, wait for SIGINT)")
 		tpcwViews   = flag.Bool("tpcw-views", true, "create the paper's four TPC-W cached views")
 		pull        = flag.Duration("pull", 200*time.Millisecond, "pull-subscription poll interval")
@@ -95,6 +101,15 @@ func main() {
 	}
 	cache.StartPulling(*pull)
 	defer cache.StopPulling()
+
+	if *serveAddr != "" {
+		wsrv, err := mtcache.ServeCache(cache, *serveAddr, mtcache.WireServerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer wsrv.Close()
+		fmt.Printf("cache serving routed sessions on %s\n", wsrv.Addr())
+	}
 
 	stopCkpt := make(chan struct{})
 	if *dataDir != "" {

@@ -286,6 +286,13 @@ func ConnectCache(c *CacheServer) *Conn {
 	}
 }
 
+// NewConn builds a Conn over arbitrary exec/call functions — how transports
+// that live outside this package (the TCP session router, for one) hand
+// applications the same opaque connection a local server would.
+func NewConn(name string, execFn, callFn func(string, exec.Params) (*engine.Result, error)) *Conn {
+	return &Conn{exec: execFn, call: callFn, name: name}
+}
+
 // Exec runs one statement.
 func (cn *Conn) Exec(sqlText string, params exec.Params) (*engine.Result, error) {
 	return cn.exec(sqlText, params)

@@ -26,6 +26,16 @@ func (db *Database) execDML(stmt sql.Statement, params exec.Params) (*Result, er
 		if db.remote == nil {
 			return nil, fmt.Errorf("engine: cache has no backend link for update forwarding")
 		}
+		// Prefer the LSN-acknowledging path: the backend's commit LSN rides
+		// back with the row count, giving the session its read-your-writes
+		// watermark.
+		if lx, ok := db.remote.(exec.LSNExecer); ok {
+			n, lsn, err := lx.ExecLSN(sql.Deparse(stmt), params)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{RowsAffected: n, CommitLSN: lsn}, nil
+		}
 		n, err := db.remote.Exec(sql.Deparse(stmt), params)
 		if err != nil {
 			return nil, err
@@ -38,10 +48,11 @@ func (db *Database) execDML(stmt sql.Statement, params exec.Params) (*Result, er
 		tx.Abort()
 		return nil, err
 	}
-	if _, err := tx.Commit(); err != nil {
+	lsn, err := tx.Commit()
+	if err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: n}, nil
+	return &Result{RowsAffected: n, CommitLSN: lsn}, nil
 }
 
 // virtualDMLTarget returns the virtual system table a DML statement names,

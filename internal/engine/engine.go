@@ -81,6 +81,12 @@ type Database struct {
 	// stalenessOf reports a cached view's replication staleness in seconds
 	// (wired by the MTCache layer); it backs WITH FRESHNESS queries.
 	stalenessOf func(view string) (float64, bool)
+
+	// sessionGate waits (bounded by the budget) until the cache has applied
+	// every replicated commit at or below min, reporting the applied LSN it
+	// reached and whether the bound was met. Wired by the MTCache layer; it
+	// backs ExecSession's read-your-writes guarantee.
+	sessionGate func(min storage.LSN, budget time.Duration) (storage.LSN, bool)
 }
 
 // Config configures a new Database.
@@ -202,6 +208,49 @@ func (db *Database) SetStalenessProbe(fn func(view string) (float64, bool)) {
 	db.stalenessOf = fn
 }
 
+// ErrSessionStale reports that a session-gated statement could not be served
+// because the cache has not yet applied the session's watermark LSN within
+// the wait budget. The statement did not execute; the caller (typically a
+// session router) should retry against the backend, which is always current.
+var ErrSessionStale = fmt.Errorf("engine: cache behind session watermark")
+
+// SetSessionGate wires the applied-LSN waiter used by ExecSession (cache
+// role; the MTCache layer installs it alongside the staleness probe).
+func (db *Database) SetSessionGate(fn func(min storage.LSN, budget time.Duration) (storage.LSN, bool)) {
+	db.sessionGate = fn
+}
+
+// ExecSession is Exec with a session-consistency precondition: when minLSN
+// is nonzero on a cache, the statement runs only after the cache has applied
+// every replicated commit at or below minLSN — the session's read-your-writes
+// watermark. The gate waits up to the given budget (a pull round is kicked
+// while waiting) and fails with ErrSessionStale if the cache is still behind,
+// so a stale cache can never time-travel a session that has seen its own
+// write acknowledged.
+//
+// The gate composes with WITH FRESHNESS: the LSN bound is checked first
+// (point-in-log consistency for this session), then the statement plans
+// normally, including any declared staleness bound (wall-clock freshness for
+// everyone). On a backend the gate passes trivially — the backend is the
+// source of truth for every LSN it ever issued.
+func (db *Database) ExecSession(sqlText string, params exec.Params, minLSN storage.LSN, wait time.Duration) (*Result, error) {
+	if minLSN > 0 && db.role == Cache {
+		gate := db.sessionGate
+		if gate == nil {
+			// No applied-LSN source: the cache cannot prove it has caught up,
+			// so the only honest answer is "not guaranteed here".
+			metrics.Default.Counter("engine.session_gate_stale").Add(1)
+			return nil, ErrSessionStale
+		}
+		if _, ok := gate(minLSN, wait); !ok {
+			metrics.Default.Counter("engine.session_gate_stale").Add(1)
+			return nil, ErrSessionStale
+		}
+		metrics.Default.Counter("engine.session_gate_pass").Add(1)
+	}
+	return db.Exec(sqlText, params)
+}
+
 // InvalidatePlans clears the plan cache and the matview maintenance-plan
 // cache (after DDL or stats refresh).
 func (db *Database) InvalidatePlans() {
@@ -240,6 +289,14 @@ type Result struct {
 
 	// Set for DML.
 	RowsAffected int64
+
+	// CommitLSN is the WAL position of the commit this statement performed
+	// (0 for reads, DDL and unlogged operations). On a backend it is the
+	// local commit's LSN; on a cache it is the backend commit LSN carried
+	// back in the forwarded update's acknowledgement, when the backend link
+	// supports it (exec.LSNExecer). Session routers use it as the session's
+	// read-your-writes high-water mark.
+	CommitLSN storage.LSN
 
 	// Executor work counters (local to this server).
 	Counters exec.Counters

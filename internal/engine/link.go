@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mtcache/internal/exec"
+	"mtcache/internal/storage"
 	"mtcache/internal/trace"
 )
 
@@ -24,7 +25,7 @@ func (l *Link) Query(sqlText string, params exec.Params) (*exec.ResultSet, error
 	if err != nil {
 		return nil, fmt.Errorf("link(%s): %w", l.db.Name, err)
 	}
-	return &exec.ResultSet{Cols: res.Cols, Rows: res.Rows}, nil
+	return &exec.ResultSet{Cols: res.Cols, Rows: res.Rows, CommitLSN: res.CommitLSN}, nil
 }
 
 // QueryTraced implements exec.SpanQuerier: the linked database executes under
@@ -45,4 +46,15 @@ func (l *Link) Exec(sqlText string, params exec.Params) (int64, error) {
 		return 0, fmt.Errorf("link(%s): %w", l.db.Name, err)
 	}
 	return res.RowsAffected, nil
+}
+
+// ExecLSN implements exec.LSNExecer: forwarded DML additionally reports the
+// commit LSN the backend assigned, so sessions can track read-your-writes
+// watermarks over in-process links exactly as over the TCP transport.
+func (l *Link) ExecLSN(sqlText string, params exec.Params) (int64, storage.LSN, error) {
+	res, err := l.db.Exec(sqlText, params)
+	if err != nil {
+		return 0, 0, fmt.Errorf("link(%s): %w", l.db.Name, err)
+	}
+	return res.RowsAffected, res.CommitLSN, nil
 }

@@ -22,7 +22,7 @@ func (db *Database) execProcCall(x *sql.ExecStmt, outer exec.Params) (*Result, e
 			if err != nil {
 				return nil, err
 			}
-			return &Result{Cols: rs.Cols, Rows: rs.Rows}, nil
+			return &Result{Cols: rs.Cols, Rows: rs.Rows, CommitLSN: rs.CommitLSN}, nil
 		}
 		return nil, fmt.Errorf("engine: procedure %s does not exist", x.Proc)
 	}
@@ -95,7 +95,7 @@ func (db *Database) CallProcedure(name string, params exec.Params) (*Result, err
 			if err != nil {
 				return nil, err
 			}
-			return &Result{Cols: rs.Cols, Rows: rs.Rows}, nil
+			return &Result{Cols: rs.Cols, Rows: rs.Rows, CommitLSN: rs.CommitLSN}, nil
 		}
 		return nil, fmt.Errorf("engine: procedure %s does not exist", name)
 	}
@@ -141,9 +141,11 @@ func (db *Database) CallProcedure(name string, params exec.Params) (*Result, err
 				return nil, fmt.Errorf("engine: unsupported statement in procedure %s", proc.Name)
 			}
 		}
-		if _, err := tx.Commit(); err != nil {
+		lsn, err := tx.Commit()
+		if err != nil {
 			return nil, err
 		}
+		res.CommitLSN = lsn
 		return res, nil
 	}
 
@@ -153,6 +155,11 @@ func (db *Database) CallProcedure(name string, params exec.Params) (*Result, err
 			return nil, fmt.Errorf("engine: %s: %w", proc.Name, err)
 		}
 		res.RowsAffected += r.RowsAffected
+		if r.CommitLSN > res.CommitLSN {
+			// A cache-local procedure forwards each DML statement separately;
+			// the session watermark is the highest backend commit among them.
+			res.CommitLSN = r.CommitLSN
+		}
 		if len(r.Cols) > 0 {
 			res.Cols, res.Rows = r.Cols, r.Rows
 		}

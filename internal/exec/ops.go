@@ -24,6 +24,13 @@ type ColInfo struct {
 type ResultSet struct {
 	Cols []ColInfo
 	Rows []types.Row
+
+	// CommitLSN is the backend commit position of any write the statement
+	// performed (0 for pure reads, or when the transport predates LSN
+	// acknowledgements). Forwarded stored-procedure calls travel as Query,
+	// so the LSN rides on the result set; session routers use it to advance
+	// a session's read-your-writes watermark.
+	CommitLSN storage.LSN
 }
 
 // RemoteClient executes SQL on a linked server. The Remote operator uses
@@ -31,6 +38,15 @@ type ResultSet struct {
 type RemoteClient interface {
 	Query(sqlText string, params Params) (*ResultSet, error)
 	Exec(sqlText string, params Params) (int64, error)
+}
+
+// LSNExecer is an optional extension of RemoteClient: clients that implement
+// it return the backend commit LSN alongside the affected-row count of a
+// forwarded update. The engine uses it to stamp Result.CommitLSN on a cache,
+// which is what lets a session router guarantee read-your-writes — without
+// it forwarded DML still works, the session just cannot learn its watermark.
+type LSNExecer interface {
+	ExecLSN(sqlText string, params Params) (int64, storage.LSN, error)
 }
 
 // SpanQuerier is an optional extension of RemoteClient: clients that

@@ -156,7 +156,11 @@ func (s *Store) entryLocked(shape string) *shapeEntry {
 func (ent *shapeEntry) variant(name string) *variantStats {
 	vs, ok := ent.variants[name]
 	if !ok {
-		vs = &variantStats{lat: metrics.NewHistogram(latencySamples)}
+		// maxStale starts at -1 ("staleness never observed"), matching the
+		// servedStaleness sentinel: a variant that only ever ran with unknown
+		// staleness must not report 0 — or worse, a negative sample — as a
+		// real bound.
+		vs = &variantStats{lat: metrics.NewHistogram(latencySamples), maxStale: -1}
 		ent.variants[name] = vs
 	}
 	return vs
@@ -188,7 +192,9 @@ func (s *Store) Record(e Exec) {
 	if e.Degraded {
 		vs.degraded++
 	}
-	if e.Staleness > vs.maxStale {
+	// Negative staleness is the "unknown" sentinel (sys.cached_views reports
+	// -1 before the first pull); only real observations enter the maximum.
+	if e.Staleness >= 0 && e.Staleness > vs.maxStale {
 		vs.maxStale = e.Staleness
 	}
 	vs.lastMs = float64(e.Duration) / float64(time.Millisecond)
@@ -366,6 +372,7 @@ func (s *Store) Snapshot() []ShapeSnapshot {
 		rollLat := metrics.NewHistogram(latencySamples * 2)
 		var roll VariantSnapshot
 		roll.Variant = "all"
+		roll.MaxStale = -1 // unknown until a variant contributes a real sample
 		for name, vs := range ent.variants {
 			snap := vs.snapshot(name)
 			ss.Variants = append(ss.Variants, snap)

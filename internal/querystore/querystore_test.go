@@ -66,6 +66,55 @@ func TestRecordAndSnapshot(t *testing.T) {
 	}
 }
 
+// The engine reports staleness -1 when it is unknown (a cached view before
+// its first pull, or a query that touched no cached view). The sentinel must
+// not enter the max-staleness aggregate as a negative sample, and a variant
+// that never saw a real observation must answer -1, not 0.
+func TestStalenessSentinelExcludedFromStats(t *testing.T) {
+	s := NewStore(8)
+
+	// Only sentinel samples: max staleness stays "unknown".
+	for i := 0; i < 3; i++ {
+		s.Record(Exec{Shape: "SELECT a FROM unknown_t", Variant: "local", Staleness: -1})
+	}
+	// A mix: the sentinel must not mask or perturb the real observations.
+	s.Record(Exec{Shape: "SELECT b FROM mixed_t", Variant: "local", Staleness: -1})
+	s.Record(Exec{Shape: "SELECT b FROM mixed_t", Variant: "local", Staleness: 2.5})
+	s.Record(Exec{Shape: "SELECT b FROM mixed_t", Variant: "remote", Staleness: -1})
+
+	for _, ss := range s.Snapshot() {
+		switch ss.Shape {
+		case "SELECT a FROM unknown_t":
+			if ss.Rollup.MaxStale != -1 {
+				t.Fatalf("unknown-only rollup MaxStale = %v, want -1", ss.Rollup.MaxStale)
+			}
+			for _, v := range ss.Variants {
+				if v.MaxStale != -1 {
+					t.Fatalf("unknown-only variant %q MaxStale = %v, want -1", v.Variant, v.MaxStale)
+				}
+			}
+		case "SELECT b FROM mixed_t":
+			if ss.Rollup.MaxStale != 2.5 {
+				t.Fatalf("mixed rollup MaxStale = %v, want 2.5", ss.Rollup.MaxStale)
+			}
+			for _, v := range ss.Variants {
+				switch v.Variant {
+				case "local":
+					if v.MaxStale != 2.5 {
+						t.Fatalf("local MaxStale = %v, want 2.5", v.MaxStale)
+					}
+				case "remote":
+					if v.MaxStale != -1 {
+						t.Fatalf("remote MaxStale = %v, want -1", v.MaxStale)
+					}
+				}
+			}
+		default:
+			t.Fatalf("unexpected shape %q", ss.Shape)
+		}
+	}
+}
+
 func TestLRUBound(t *testing.T) {
 	s := NewStore(4)
 	for i := 0; i < 10; i++ {

@@ -129,6 +129,18 @@ func (s *Server) ResetRemote(sub *Subscription, startLSN storage.LSN) {
 // at-least-once; the subscriber deduplicates by LSN, which together yields
 // exactly-once application.
 func (s *Server) DrainAfter(sub *Subscription, ack storage.LSN, max int) []TxnBatch {
+	out, _ := s.DrainAfterThrough(sub, ack, max)
+	return out
+}
+
+// DrainAfterThrough is DrainAfter plus the LSN the subscription's change
+// stream is complete through: when the whole remaining queue is returned,
+// that is the log reader's cursor minus one — which may run ahead of the last
+// batch's LSN, because the reader advances past transactions that do not
+// touch the article without queueing anything. A truncated response is only
+// complete through its last returned batch. Subscribers use the value to
+// report applied progress for writes their views never see.
+func (s *Server) DrainAfterThrough(sub *Subscription, ack storage.LSN, max int) ([]TxnBatch, storage.LSN) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	drop := 0
@@ -137,8 +149,10 @@ func (s *Server) DrainAfter(sub *Subscription, ack storage.LSN, max int) []TxnBa
 	}
 	sub.queue = sub.queue[drop:]
 	n := len(sub.queue)
+	truncated := false
 	if max > 0 && n > max {
 		n = max
+		truncated = true
 	}
 	out := make([]TxnBatch, 0, n)
 	for i := 0; i < n; i++ {
@@ -149,7 +163,11 @@ func (s *Server) DrainAfter(sub *Subscription, ack storage.LSN, max int) []TxnBa
 		}
 		out = append(out, TxnBatch{LSN: q.lsn, CommitTime: q.commitTime, Changes: changes})
 	}
-	return out
+	through := sub.nextLSN - 1
+	if truncated {
+		through = sub.queue[n-1].lsn
+	}
+	return out, through
 }
 
 // Drain removes and returns up to max queued transactions (max <= 0 means

@@ -361,24 +361,40 @@ func (s *Server) RunLogReader() int {
 				sub.mu.Unlock()
 				continue // already included in this subscription's snapshot
 			}
+			sub.mu.Unlock()
+			// Filter and encode outside the lock, but advance the cursor and
+			// enqueue in ONE critical section: the cursor doubles as the
+			// stream-completeness position (DrainAfterThrough reports
+			// nextLSN-1), so a cursor advanced before its record is queued
+			// would let a concurrent drain claim completeness through a
+			// record it did not deliver. The re-check under the lock keeps
+			// concurrent reader passes from enqueueing the record twice.
+			filtered := filterTxn(sub.Article, rec)
+			var encoded []byte
+			if len(filtered) > 0 {
+				var err error
+				encoded, err = encodeChanges(filtered)
+				if err != nil {
+					filtered = nil // undecodable change; skip rather than wedge the reader
+				}
+			}
+			sub.mu.Lock()
+			if sub.nextLSN > rec.LSN {
+				sub.mu.Unlock()
+				continue // another pass delivered this record first
+			}
 			// Advance the per-subscription cursor record by record (not once
 			// per pass): it is this subscription's resume point after a
 			// subscriber restart, and the truncation floor that keeps records
 			// a resumed subscription still needs in the WAL.
 			sub.nextLSN = rec.LSN + 1
-			sub.mu.Unlock()
-			filtered := filterTxn(sub.Article, rec)
-			if len(filtered) == 0 {
-				continue
+			if len(filtered) > 0 {
+				sub.queue = append(sub.queue, queuedTxn{lsn: rec.LSN, commitTime: rec.CommitTime, encoded: encoded})
 			}
-			encoded, err := encodeChanges(filtered)
-			if err != nil {
-				continue // undecodable change; skip rather than wedge the reader
-			}
-			sub.mu.Lock()
-			sub.queue = append(sub.queue, queuedTxn{lsn: rec.LSN, commitTime: rec.CommitTime, encoded: encoded})
 			sub.mu.Unlock()
-			s.Stats.TxnsQueued.Add(1)
+			if len(filtered) > 0 {
+				s.Stats.TxnsQueued.Add(1)
+			}
 		}
 	}
 	s.mu.Lock()

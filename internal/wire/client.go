@@ -245,7 +245,49 @@ func (c *Client) Query(sqlText string, params exec.Params) (*exec.ResultSet, err
 	if err != nil {
 		return nil, err
 	}
-	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows}, nil
+	return &exec.ResultSet{Cols: resp.Cols, Rows: resp.Rows, CommitLSN: resp.LSN}, nil
+}
+
+// SessionResult is the answer to a session-gated request: rows or row count,
+// plus the freshness bookkeeping a session router needs — the commit LSN of
+// any write performed, how far the answering server had applied, and whether
+// the server refused because it could not reach the session's watermark.
+type SessionResult struct {
+	Cols      []exec.ColInfo
+	Rows      []types.Row
+	N         int64
+	CommitLSN storage.LSN
+	Applied   storage.LSN
+	Stale     bool
+}
+
+// QuerySession executes one statement gated on session freshness: a cache
+// that has not applied minLSN may block up to wait for replication to catch
+// up, and answers Stale (no rows, no error) if it still cannot. minLSN 0
+// disables the gate. Used by the session router for read-your-writes.
+func (c *Client) QuerySession(sqlText string, params exec.Params, minLSN storage.LSN, wait time.Duration) (*SessionResult, error) {
+	resp, err := c.roundTrip(&request{
+		Kind: reqQuery, SQL: sqlText, Params: params,
+		MinLSN: minLSN, WaitMs: wait.Milliseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SessionResult{
+		Cols: resp.Cols, Rows: resp.Rows, N: resp.N,
+		CommitLSN: resp.LSN, Applied: resp.Applied, Stale: resp.Stale,
+	}, nil
+}
+
+// AppliedLSN asks the server how far its data is applied (a cache answers
+// the floor across its pull subscriptions, the backend its last committed
+// LSN).
+func (c *Client) AppliedLSN() (storage.LSN, error) {
+	resp, err := c.roundTrip(&request{Kind: reqApplied})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
 }
 
 // QueryTraced implements exec.SpanQuerier: the query executes under the
@@ -261,11 +303,18 @@ func (c *Client) QueryTraced(sqlText string, params exec.Params, traceID string)
 
 // Exec implements exec.RemoteClient.
 func (c *Client) Exec(sqlText string, params exec.Params) (int64, error) {
+	n, _, err := c.ExecLSN(sqlText, params)
+	return n, err
+}
+
+// ExecLSN implements exec.LSNExecer: forwarded DML additionally returns the
+// commit LSN the backend assigned — the session's read-your-writes watermark.
+func (c *Client) ExecLSN(sqlText string, params exec.Params) (int64, storage.LSN, error) {
 	resp, err := c.roundTrip(&request{Kind: reqExec, SQL: sqlText, Params: params})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.N, nil
+	return resp.N, resp.LSN, nil
 }
 
 // Snapshot fetches the backend catalog snapshot.
@@ -314,11 +363,13 @@ func (c *Client) Resume(table string, columns []string, filter, subName string, 
 // Pull returns up to max pending transactions for a subscription, first
 // acknowledging (deleting) every batch at or below ack. Returned batches
 // stay queued on the backend until a later Pull acknowledges them, so a
-// response lost in transit is simply re-delivered.
-func (c *Client) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
+// response lost in transit is simply re-delivered. The second return value
+// is the LSN the change stream is complete through (repl.DrainAfterThrough);
+// a v1 server leaves it 0 and the subscriber falls back to batch LSNs.
+func (c *Client) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, storage.LSN, error) {
 	resp, err := c.roundTrip(&request{Kind: reqPull, SubID: subID, Max: max, AckLSN: ack})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return resp.Batches, nil
+	return resp.Batches, resp.ThroughLSN, nil
 }

@@ -17,6 +17,13 @@ import (
 // connections while any single slow dial or dead slot costs only the
 // requests routed to it.
 //
+// Dialing happens under a per-slot lock, never the pool lock: a slow dial
+// delays only the requests round-robined onto that cold slot, while Gets
+// routed to warm slots proceed untouched. And when a slot's dial fails, Get
+// falls back to any other slot already holding a live connection before
+// reporting failure — one bad dial must not fail a request the rest of the
+// pool could serve.
+//
 // Metrics (on the registry passed to NewPool):
 //
 //	wire.pool_open          gauge: currently open pooled connections
@@ -25,17 +32,43 @@ import (
 //	wire.dial_failures      counter: failed dials
 //	wire.reconnects         counter: re-dials of a slot that had a live
 //	                        connection before
+//	wire.pool_fallbacks     counter: Gets served by another slot's live
+//	                        connection after their own slot's dial failed
 type Pool struct {
 	addr    string
 	size    int
 	timeout time.Duration
 	reg     *metrics.Registry
+	dialFn  func(addr string, timeout time.Duration) (*Client, error) // test seam
 
-	mu     sync.Mutex
-	slots  []*Client
-	dialed []bool // slot ever held a connection (distinguishes re-dials)
+	slots []*poolSlot
+
+	mu     sync.Mutex // guards next, closed
 	next   int
 	closed bool
+}
+
+// poolSlot is one pooled connection position. dialMu is held for the
+// duration of a (re-)dial; mu only for quick reads and writes of the slot
+// state, so observers (Open, fallback scans, Invalidate) never wait behind
+// an in-progress dial.
+type poolSlot struct {
+	dialMu sync.Mutex
+
+	mu     sync.Mutex
+	c      *Client
+	dialed bool // slot ever held a connection (distinguishes re-dials)
+}
+
+// client returns the slot's connection if it is live, else nil.
+func (s *poolSlot) client() *Client {
+	s.mu.Lock()
+	c := s.c
+	s.mu.Unlock()
+	if c != nil && !c.Broken() {
+		return c
+	}
+	return nil
 }
 
 // NewPool creates a pool of up to size connections to addr. No connection
@@ -49,14 +82,18 @@ func NewPool(addr string, size int, timeout time.Duration, reg *metrics.Registry
 	if reg == nil {
 		reg = metrics.Default
 	}
-	return &Pool{
+	p := &Pool{
 		addr:    addr,
 		size:    size,
 		timeout: timeout,
 		reg:     reg,
-		slots:   make([]*Client, size),
-		dialed:  make([]bool, size),
+		dialFn:  Dial,
+		slots:   make([]*poolSlot, size),
 	}
+	for i := range p.slots {
+		p.slots[i] = &poolSlot{}
+	}
+	return p
 }
 
 // Size returns the pool's slot count.
@@ -64,15 +101,9 @@ func (p *Pool) Size() int { return p.size }
 
 // Open returns the number of currently live pooled connections.
 func (p *Pool) Open() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.openLocked()
-}
-
-func (p *Pool) openLocked() int {
 	n := 0
-	for _, c := range p.slots {
-		if c != nil && !c.Broken() {
+	for _, s := range p.slots {
+		if s.client() != nil {
 			n++
 		}
 	}
@@ -80,42 +111,84 @@ func (p *Pool) openLocked() int {
 }
 
 // Get returns the next connection round-robin, dialing the slot if it is
-// empty or its connection broke. Dialing happens under the pool lock: a
-// slow dial briefly delays other Gets, bounded by the dial timeout —
-// acceptable because a dial only happens when a slot is cold or the backend
-// just dropped a connection, exactly when callers are about to retry
-// anyway.
+// empty or its connection broke. Only requests routed to the cold slot wait
+// on its dial; if the dial fails, Get answers with any other slot's live
+// connection before giving up.
 func (p *Pool) Get() (*Client, error) {
 	start := time.Now()
 	defer func() {
 		p.reg.Histogram("wire.pool_wait_seconds").ObserveDuration(time.Since(start))
 	}()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, resilience.Terminal(fmt.Errorf("wire: pool closed: %w", resilience.ErrBackendDown))
 	}
 	slot := p.next
 	p.next = (p.next + 1) % p.size
-	if c := p.slots[slot]; c != nil {
-		if !c.Broken() {
-			return c, nil
-		}
-		c.Close()
-		p.slots[slot] = nil
-		p.publishOpenLocked()
+	p.mu.Unlock()
+
+	c, err := p.getSlot(p.slots[slot])
+	if err == nil {
+		return c, nil
 	}
-	c, err := Dial(p.addr, p.timeout)
+	// This slot's dial failed — scan the rest of the pool for a live
+	// connection. The scan takes only the quick per-slot lock, so it never
+	// waits behind another slot's in-progress dial.
+	for i, s := range p.slots {
+		if i == slot {
+			continue
+		}
+		if lc := s.client(); lc != nil {
+			p.reg.Counter("wire.pool_fallbacks").Add(1)
+			return lc, nil
+		}
+	}
+	return nil, err
+}
+
+// getSlot returns the slot's live connection, dialing under the slot lock
+// when it is cold or broken.
+func (p *Pool) getSlot(s *poolSlot) (*Client, error) {
+	if c := s.client(); c != nil {
+		return c, nil
+	}
+	s.dialMu.Lock()
+	defer s.dialMu.Unlock()
+	// Re-check: a Get that held dialMu ahead of us may have just re-dialed.
+	s.mu.Lock()
+	old := s.c
+	s.mu.Unlock()
+	if old != nil && !old.Broken() {
+		return old, nil
+	}
+	if old != nil {
+		old.Close()
+		s.mu.Lock()
+		s.c = nil
+		s.mu.Unlock()
+		p.publishOpen()
+	}
+	c, err := p.dialFn(p.addr, p.timeout)
 	if err != nil {
 		p.reg.Counter("wire.dial_failures").Add(1)
 		return nil, err
 	}
-	if p.dialed[slot] {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		c.Close()
+		return nil, resilience.Terminal(fmt.Errorf("wire: pool closed: %w", resilience.ErrBackendDown))
+	}
+	s.mu.Lock()
+	if s.dialed {
 		p.reg.Counter("wire.reconnects").Add(1)
 	}
-	p.dialed[slot] = true
-	p.slots[slot] = c
-	p.publishOpenLocked()
+	s.dialed = true
+	s.c = c
+	s.mu.Unlock()
+	p.publishOpen()
 	return c, nil
 }
 
@@ -123,15 +196,16 @@ func (p *Pool) Get() (*Client, error) {
 // re-dials it. Requests still in flight on the connection fail with the
 // connection; callers on other pooled connections are untouched.
 func (p *Pool) Invalidate(c *Client) {
-	p.mu.Lock()
-	for i, s := range p.slots {
-		if s == c {
-			p.slots[i] = nil
+	for _, s := range p.slots {
+		s.mu.Lock()
+		if s.c == c {
+			s.c = nil
+			s.mu.Unlock()
 			break
 		}
+		s.mu.Unlock()
 	}
-	p.publishOpenLocked()
-	p.mu.Unlock()
+	p.publishOpen()
 	c.Close()
 }
 
@@ -139,24 +213,23 @@ func (p *Pool) Invalidate(c *Client) {
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	p.closed = true
-	conns := make([]*Client, 0, len(p.slots))
-	for i, c := range p.slots {
-		if c != nil {
-			conns = append(conns, c)
-			p.slots[i] = nil
-		}
-	}
-	p.publishOpenLocked()
 	p.mu.Unlock()
 	var first error
-	for _, c := range conns {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	for _, s := range p.slots {
+		s.mu.Lock()
+		c := s.c
+		s.c = nil
+		s.mu.Unlock()
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
+	p.publishOpen()
 	return first
 }
 
-func (p *Pool) publishOpenLocked() {
-	p.reg.Gauge("wire.pool_open").Set(float64(p.openLocked()))
+func (p *Pool) publishOpen() {
+	p.reg.Gauge("wire.pool_open").Set(float64(p.Open()))
 }

@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mtcache/internal/metrics"
+)
+
+// dummyListener accepts connections and holds them open so Dial succeeds
+// without a real wire server behind it (the pool tests never issue requests).
+func dummyListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				close(done)
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		<-done
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	return ln
+}
+
+// A slow dial on one slot must not block Gets routed to other slots: dialing
+// happens under per-slot state, not the pool lock. Regression test — the
+// pool used to dial while holding its mutex, serializing every Get behind
+// the slowest dial.
+func TestPoolSlowDialDoesNotBlockOtherSlots(t *testing.T) {
+	ln := dummyListener(t)
+	p := NewPool(ln.Addr().String(), 2, time.Second, metrics.NewRegistry())
+	defer p.Close()
+
+	block := make(chan struct{})
+	dialing := make(chan struct{})
+	realDial := p.dialFn
+	var once sync.Once
+	p.dialFn = func(addr string, timeout time.Duration) (*Client, error) {
+		var first bool
+		once.Do(func() { first = true })
+		if first {
+			close(dialing)
+			<-block // the cold slot's dial hangs until released
+		}
+		return realDial(addr, timeout)
+	}
+
+	// Get #1 routes to slot 0 and parks inside the slow dial.
+	res1 := make(chan error, 1)
+	go func() {
+		_, err := p.Get()
+		res1 <- err
+	}()
+	<-dialing
+
+	// Get #2 routes to slot 1 and must complete while slot 0 is still
+	// dialing.
+	res2 := make(chan error, 1)
+	go func() {
+		_, err := p.Get()
+		res2 <- err
+	}()
+	select {
+	case err := <-res2:
+		if err != nil {
+			t.Fatalf("Get on warm path failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get blocked behind another slot's dial")
+	}
+
+	close(block)
+	if err := <-res1; err != nil {
+		t.Fatalf("slow-dial Get failed: %v", err)
+	}
+}
+
+// A slot whose dial fails must fall back to another slot's live connection
+// instead of failing the request. Regression test — Get used to return the
+// dial error even when the rest of the pool held working connections.
+func TestPoolDialFailureFallsBackToLiveSlot(t *testing.T) {
+	ln := dummyListener(t)
+	reg := metrics.NewRegistry()
+	p := NewPool(ln.Addr().String(), 2, time.Second, reg)
+	defer p.Close()
+
+	// Warm slot 0 with a real connection.
+	c0, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slot 1's dial fails.
+	realDial := p.dialFn
+	failing := true
+	p.dialFn = func(addr string, timeout time.Duration) (*Client, error) {
+		if failing {
+			return nil, fmt.Errorf("wire: dial refused (test)")
+		}
+		return realDial(addr, timeout)
+	}
+
+	c, err := p.Get() // round-robin routes this Get to the cold slot 1
+	if err != nil {
+		t.Fatalf("Get failed despite a live pooled connection: %v", err)
+	}
+	if c != c0 {
+		t.Fatalf("fallback returned a different connection than the live slot")
+	}
+	if got := reg.Counter("wire.pool_fallbacks").Value(); got != 1 {
+		t.Fatalf("pool_fallbacks = %v, want 1", got)
+	}
+	if got := reg.Counter("wire.dial_failures").Value(); got != 1 {
+		t.Fatalf("dial_failures = %v, want 1", got)
+	}
+
+	// Once every slot is unreachable, the dial error does surface.
+	p.Invalidate(c0)
+	if _, err := p.Get(); err == nil {
+		t.Fatal("Get succeeded with all slots dead and dials failing")
+	}
+
+	// And a recovered dial heals the pool.
+	failing = false
+	if _, err := p.Get(); err != nil {
+		t.Fatalf("Get after dial recovery failed: %v", err)
+	}
+}
+
+// Concurrent Gets with a mix of live slots, broken slots and failing dials
+// must never return an error while any slot holds a live connection.
+func TestPoolConcurrentGetTorture(t *testing.T) {
+	ln := dummyListener(t)
+	p := NewPool(ln.Addr().String(), 4, time.Second, metrics.NewRegistry())
+	defer p.Close()
+
+	// Warm one slot so a live connection always exists.
+	if _, err := p.Get(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := p.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if c == nil {
+					errs <- fmt.Errorf("nil client")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Get failed: %v", err)
+	}
+}

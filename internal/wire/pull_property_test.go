@@ -57,7 +57,7 @@ func runPullProperty(t *testing.T, seed int64) {
 		redelivered = 0
 	)
 	pullOnce := func(useAck storage.LSN) {
-		batches, err := client.Pull(subID, 0, useAck)
+		batches, _, err := client.Pull(subID, 0, useAck)
 		if err != nil {
 			return // lossy link; the protocol tolerates failed pulls
 		}

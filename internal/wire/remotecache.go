@@ -56,6 +56,12 @@ type pullSub struct {
 	view     string
 	lastPull time.Time
 	lastLSN  storage.LSN // highest LSN applied; pulls ack and dedup with it
+	// through is the LSN this subscription's view is known current through:
+	// lastLSN plus the pull responses' ThroughLSN, which also advances past
+	// commits that never touch the view. Without it, a cache's applied
+	// position would stall at the last write that happened to hit one of its
+	// views, wedging every session gated on a later watermark.
+	through storage.LSN
 }
 
 // NewRemoteCache dials nothing itself: pass a connected BackendClient (a
@@ -105,6 +111,9 @@ func newRemoteCache(name string, client BackendClient, options *opt.Options, dat
 		return nil, err
 	}
 	db.OnCachedViewCreate(rc.provision)
+	// Session gate: MinLSN-gated requests wait for replication to reach the
+	// session's watermark (kicking pulls) instead of serving stale rows.
+	db.SetSessionGate(rc.WaitApplied)
 	db.SetStalenessProbe(func(view string) (float64, bool) {
 		rc.mu.Lock()
 		defer rc.mu.Unlock()
@@ -192,7 +201,7 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 			rc.reg.Counter("wire.view_resumed").Add(1)
 			querystore.Emit("view_resumed", "view", view.Name, "lsn", fmt.Sprint(st.LastLSN))
 			rc.mu.Lock()
-			rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: st.LastLSN})
+			rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: st.LastLSN, through: st.LastLSN})
 			rc.mu.Unlock()
 			return nil
 		}
@@ -215,7 +224,7 @@ func (rc *RemoteCache) provision(view *catalog.Table) error {
 	rc.mu.Lock()
 	// startLSN is the first LSN the change stream will produce; lastLSN holds
 	// the highest LSN already applied, so seed it one below the stream start.
-	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: startLSN - 1})
+	rc.pulls = append(rc.pulls, pullSub{subID: subID, view: view.Name, lastPull: time.Now(), lastLSN: startLSN - 1, through: startLSN - 1})
 	rc.mu.Unlock()
 	return nil
 }
@@ -265,7 +274,7 @@ func (rc *RemoteCache) Pull() (int, error) {
 		rc.reg.Histogram("repl.pull_seconds").ObserveDuration(time.Since(pullStart))
 	}()
 	for i, p := range pulls {
-		batches, err := rc.client.Pull(p.subID, 0, p.lastLSN)
+		batches, through, err := rc.client.Pull(p.subID, 0, p.lastLSN)
 		if err != nil {
 			rc.reg.Counter("wire.pull_failures").Add(1)
 			if firstErr == nil {
@@ -274,6 +283,7 @@ func (rc *RemoteCache) Pull() (int, error) {
 			continue
 		}
 		applied := p.lastLSN
+		applyOK := true
 		for _, b := range batches {
 			if b.LSN <= applied {
 				// Re-delivered batch from a pull whose response was lost —
@@ -285,6 +295,7 @@ func (rc *RemoteCache) Pull() (int, error) {
 				// Stop this subscription at the failed batch to preserve LSN
 				// order; everything unapplied is still queued on the backend.
 				rc.reg.Counter("wire.pull_failures").Add(1)
+				applyOK = false
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -296,6 +307,16 @@ func (rc *RemoteCache) Pull() (int, error) {
 		rc.mu.Lock()
 		if i < len(rc.pulls) && rc.pulls[i].subID == p.subID {
 			rc.pulls[i].lastLSN = applied
+			// The view is current through the stream-completeness position
+			// only when everything delivered was applied; a failed apply caps
+			// it at the last applied batch.
+			cur := applied
+			if applyOK && through > cur {
+				cur = through
+			}
+			if cur > rc.pulls[i].through {
+				rc.pulls[i].through = cur
+			}
 			rc.pulls[i].lastPull = time.Now()
 		}
 		rc.mu.Unlock()
@@ -325,6 +346,52 @@ func (rc *RemoteCache) applyBatch(view string, b repl.TxnBatch) error {
 		}
 	}
 	return repl.ApplyBatch(rc.DB, view, b)
+}
+
+// appliedFloor is the AppliedLSN answer for a cache with no pull
+// subscriptions: such a cache holds no replicated data at all, every query
+// forwards to the backend, so it is vacuously current at any watermark.
+const appliedFloor = storage.LSN(1) << 62
+
+// AppliedLSN reports the LSN this cache's replicated data is current
+// through: the floor across its pull subscriptions' completeness positions.
+// A session whose last write committed at or below this value reads its own
+// writes from this cache.
+func (rc *RemoteCache) AppliedLSN() storage.LSN {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	min := appliedFloor
+	for _, p := range rc.pulls {
+		cur := p.through
+		if p.lastLSN > cur {
+			cur = p.lastLSN
+		}
+		if cur < min {
+			min = cur
+		}
+	}
+	return min
+}
+
+// WaitApplied blocks until the cache has applied min, kicking pull rounds
+// instead of waiting for the background agent's next tick, and gives up when
+// the budget runs out. It returns the applied position reached and whether
+// it satisfies min — the engine's session gate (engine.SetSessionGate).
+func (rc *RemoteCache) WaitApplied(min storage.LSN, budget time.Duration) (storage.LSN, bool) {
+	if a := rc.AppliedLSN(); a >= min {
+		return a, true
+	}
+	deadline := time.Now().Add(budget)
+	for {
+		rc.Pull() //nolint:errcheck — a failed kick only delays the recheck
+		if a := rc.AppliedLSN(); a >= min {
+			return a, true
+		}
+		if !time.Now().Before(deadline) {
+			return rc.AppliedLSN(), false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // LastLSN reports the highest LSN applied for a cached view's subscription

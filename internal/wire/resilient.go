@@ -21,10 +21,11 @@ import (
 // *Client and the fault-tolerant *ResilientClient implement it.
 type BackendClient interface {
 	exec.RemoteClient
+	exec.LSNExecer
 	Snapshot() ([]byte, error)
 	Provision(table string, columns []string, filter, subName string) (int, storage.LSN, []types.Row, error)
 	Resume(table string, columns []string, filter, subName string, fromLSN storage.LSN) (int, bool, error)
-	Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error)
+	Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, storage.LSN, error)
 	Close() error
 }
 
@@ -200,16 +201,41 @@ func (r *ResilientClient) QueryTraced(sqlText string, params exec.Params, traceI
 // Exec implements exec.RemoteClient. Forwarded DML is not idempotent, so it
 // retries only on connect-phase failures.
 func (r *ResilientClient) Exec(sqlText string, params exec.Params) (int64, error) {
-	var n int64
+	n, _, err := r.ExecLSN(sqlText, params)
+	return n, err
+}
+
+// ExecLSN implements exec.LSNExecer under the same retry rules as Exec: the
+// forwarded DML's backend commit LSN rides back with the row count.
+func (r *ResilientClient) ExecLSN(sqlText string, params exec.Params) (int64, storage.LSN, error) {
+	var (
+		n   int64
+		lsn storage.LSN
+	)
 	err := r.do(false, func(c *Client) error {
 		var e error
-		n, e = c.Exec(sqlText, params)
+		n, lsn, e = c.ExecLSN(sqlText, params)
+		return e
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, lsn, nil
+}
+
+// AppliedLSN probes how far the server's data is applied (idempotent:
+// retried).
+func (r *ResilientClient) AppliedLSN() (storage.LSN, error) {
+	var lsn storage.LSN
+	err := r.do(true, func(c *Client) error {
+		var e error
+		lsn, e = c.AppliedLSN()
 		return e
 	})
 	if err != nil {
 		return 0, err
 	}
-	return n, nil
+	return lsn, nil
 }
 
 // Snapshot fetches the backend catalog snapshot (idempotent: retried).
@@ -265,15 +291,18 @@ func (r *ResilientClient) Resume(table string, columns []string, filter, subName
 
 // Pull fetches pending transactions (idempotent: unacknowledged batches are
 // re-delivered, so a retried pull never loses data).
-func (r *ResilientClient) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, error) {
-	var batches []repl.TxnBatch
+func (r *ResilientClient) Pull(subID, max int, ack storage.LSN) ([]repl.TxnBatch, storage.LSN, error) {
+	var (
+		batches []repl.TxnBatch
+		through storage.LSN
+	)
 	err := r.do(true, func(c *Client) error {
 		var e error
-		batches, e = c.Pull(subID, max, ack)
+		batches, through, e = c.Pull(subID, max, ack)
 		return e
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return batches, nil
+	return batches, through, nil
 }

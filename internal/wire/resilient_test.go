@@ -40,15 +40,15 @@ func TestResilientSurvivesConnectionLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Sever every pooled connection behind the wrapper's back.
-	rc.pool.mu.Lock()
 	var severed []*Client
-	for _, c := range rc.pool.slots {
-		if c != nil {
-			severed = append(severed, c)
-			c.conn.Close()
+	for _, s := range rc.pool.slots {
+		s.mu.Lock()
+		if s.c != nil {
+			severed = append(severed, s.c)
+			s.c.conn.Close()
 		}
+		s.mu.Unlock()
 	}
-	rc.pool.mu.Unlock()
 	if len(severed) == 0 {
 		t.Fatal("no pooled connection to sever")
 	}

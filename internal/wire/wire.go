@@ -27,11 +27,14 @@ package wire
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mtcache/internal/core"
+	"mtcache/internal/engine"
 	"mtcache/internal/exec"
 	"mtcache/internal/metrics"
 	"mtcache/internal/repl"
@@ -56,6 +59,11 @@ const (
 	// answers SubID = -1 (no error) when the backend can no longer serve that
 	// position and the cache must fall back to a full reseed.
 	reqResume
+	// reqApplied asks the server how far its data is applied: a cache answers
+	// the LSN its pull subscriptions have all reached, the backend answers its
+	// last committed LSN. Session routers use it to probe read-your-writes
+	// eligibility without issuing a query.
+	reqApplied
 )
 
 // request is one client->server frame.
@@ -95,6 +103,18 @@ type request struct {
 	// restarted subscriber has not applied. Same append-only compatibility
 	// rules as TraceID.
 	FromLSN storage.LSN
+
+	// MinLSN gates reqQuery/reqExec on session freshness: a cache must have
+	// applied at least this LSN before answering, or report Stale instead of
+	// serving data the session's own writes have not reached. Zero (the v1
+	// wire value) disables the gate. Same append-only compatibility rules as
+	// TraceID.
+	MinLSN storage.LSN
+
+	// WaitMs bounds how long the server may block waiting for MinLSN to be
+	// applied before giving up with Stale. Same append-only compatibility
+	// rules as TraceID.
+	WaitMs int64
 }
 
 // response is one server->client frame.
@@ -118,6 +138,31 @@ type response struct {
 	// ID echoes request.ID (0 for requests from v1 clients). Same
 	// append-only compatibility rules as request.TraceID.
 	ID uint64
+
+	// LSN is the commit LSN of any write the request performed on the
+	// backend (0 for pure reads) — the session's read-your-writes watermark.
+	// Same append-only compatibility rules as request.TraceID.
+	LSN storage.LSN
+
+	// Applied is the LSN the answering server has applied through (for a
+	// cache, the floor across its pull subscriptions; for the backend, its
+	// last committed LSN). Same append-only compatibility rules as
+	// request.TraceID.
+	Applied storage.LSN
+
+	// Stale reports that a MinLSN-gated request was refused because the
+	// server could not reach the session watermark within WaitMs. The
+	// response carries no rows; the client should retry against the backend.
+	// Same append-only compatibility rules as request.TraceID.
+	Stale bool
+
+	// ThroughLSN on a pull response is the position the subscription's change
+	// stream is complete through: every relevant change at or below it has
+	// been delivered in or before this response. It can run ahead of the last
+	// batch's LSN when the log reader filtered intervening transactions that
+	// did not touch the article. Same append-only compatibility rules as
+	// request.TraceID.
+	ThroughLSN storage.LSN
 }
 
 // DefaultMaxInFlight bounds concurrent request handling per server when
@@ -134,9 +179,12 @@ type ServerOptions struct {
 	MaxInFlight int
 }
 
-// Server exposes a backend over TCP.
+// Server exposes a backend — or a cache (ServeCache) — over TCP. Exactly one
+// of backend/cache is non-nil; replication requests (Snapshot, Provision,
+// Resume, Pull) are answered only by a backend.
 type Server struct {
 	backend *core.BackendServer
+	cache   *RemoteCache
 	ln      net.Listener
 	sem     chan struct{} // server-wide handler slots
 
@@ -155,6 +203,22 @@ func Serve(backend *core.BackendServer, addr string) (*Server, error) {
 
 // ServeOpts starts a server with explicit options.
 func ServeOpts(backend *core.BackendServer, addr string, opts ServerOptions) (*Server, error) {
+	s := &Server{backend: backend}
+	return startServer(s, addr, opts)
+}
+
+// ServeCache exposes a cache server over TCP with the same protocol a
+// backend speaks: clients Query/Exec against the cache exactly as they would
+// against the backend (the cache forwards what it cannot answer), and
+// MinLSN-gated requests are answered Stale when the cache has not applied the
+// session's watermark yet. Replication requests are rejected — a cache is a
+// subscriber, not a publisher.
+func ServeCache(cache *RemoteCache, addr string, opts ServerOptions) (*Server, error) {
+	s := &Server{cache: cache}
+	return startServer(s, addr, opts)
+}
+
+func startServer(s *Server, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -162,15 +226,30 @@ func ServeOpts(backend *core.BackendServer, addr string, opts ServerOptions) (*S
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
-	s := &Server{
-		backend: backend,
-		ln:      ln,
-		sem:     make(chan struct{}, opts.MaxInFlight),
-		conns:   map[net.Conn]bool{},
-	}
+	s.ln = ln
+	s.sem = make(chan struct{}, opts.MaxInFlight)
+	s.conns = map[net.Conn]bool{}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// execDB returns the database requests execute against.
+func (s *Server) execDB() *engine.Database {
+	if s.cache != nil {
+		return s.cache.DB
+	}
+	return s.backend.DB
+}
+
+// appliedLSN reports how far this server's data is applied: a cache answers
+// the floor across its pull subscriptions, the backend its last committed
+// LSN (WAL().End() is the LSN the next commit will receive).
+func (s *Server) appliedLSN() storage.LSN {
+	if s.cache != nil {
+		return s.cache.AppliedLSN()
+	}
+	return s.backend.DB.Store().WAL().End() - 1
 }
 
 // Addr returns the listen address.
@@ -263,8 +342,9 @@ func (s *Server) handle(req *request) *response {
 	resp := &response{}
 	switch req.Kind {
 	case reqQuery, reqExec:
+		db := s.execDB()
 		if req.TraceID != "" {
-			res, tr, err := s.backend.DB.ExecTraced(req.SQL, req.Params, req.TraceID)
+			res, tr, err := db.ExecTraced(req.SQL, req.Params, req.TraceID)
 			if err != nil {
 				resp.Err = err.Error()
 				return resp
@@ -272,10 +352,24 @@ func (s *Server) handle(req *request) *response {
 			resp.Cols = res.Cols
 			resp.Rows = res.Rows
 			resp.N = res.RowsAffected
+			resp.LSN = res.CommitLSN
 			resp.Span = trace.Export(tr.Root)
 			return resp
 		}
-		res, err := s.backend.DB.Exec(req.SQL, req.Params)
+		var res *engine.Result
+		var err error
+		if req.MinLSN > 0 {
+			res, err = db.ExecSession(req.SQL, req.Params, req.MinLSN, time.Duration(req.WaitMs)*time.Millisecond)
+			if errors.Is(err, engine.ErrSessionStale) {
+				// Not an error on the wire: the cache is simply behind the
+				// session's watermark. The client reroutes to the backend.
+				resp.Stale = true
+				resp.Applied = s.appliedLSN()
+				return resp
+			}
+		} else {
+			res, err = db.Exec(req.SQL, req.Params)
+		}
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
@@ -283,7 +377,15 @@ func (s *Server) handle(req *request) *response {
 		resp.Cols = res.Cols
 		resp.Rows = res.Rows
 		resp.N = res.RowsAffected
+		resp.LSN = res.CommitLSN
+		resp.Applied = s.appliedLSN()
+	case reqApplied:
+		resp.Applied = s.appliedLSN()
 	case reqSnapshot:
+		if s.backend == nil {
+			resp.Err = "wire: not a backend server"
+			return resp
+		}
 		data, err := s.backend.Snapshot().Encode()
 		if err != nil {
 			resp.Err = err.Error()
@@ -291,6 +393,10 @@ func (s *Server) handle(req *request) *response {
 		}
 		resp.Snapshot = data
 	case reqProvision:
+		if s.backend == nil {
+			resp.Err = "wire: not a backend server"
+			return resp
+		}
 		var filter sql.Expr
 		if req.Filter != "" {
 			f, err := sql.ParseExpr(req.Filter)
@@ -334,6 +440,10 @@ func (s *Server) handle(req *request) *response {
 		resp.Rows = rows
 		resp.StartLSN = lsn
 	case reqResume:
+		if s.backend == nil {
+			resp.Err = "wire: not a backend server"
+			return resp
+		}
 		var filter sql.Expr
 		if req.Filter != "" {
 			f, err := sql.ParseExpr(req.Filter)
@@ -375,6 +485,10 @@ func (s *Server) handle(req *request) *response {
 		}
 		resp.StartLSN = req.FromLSN
 	case reqPull:
+		if s.backend == nil {
+			resp.Err = "wire: not a backend server"
+			return resp
+		}
 		s.mu.Lock()
 		if req.SubID < 0 || req.SubID >= len(s.subs) {
 			s.mu.Unlock()
@@ -384,7 +498,7 @@ func (s *Server) handle(req *request) *response {
 		sub := s.subs[req.SubID]
 		s.mu.Unlock()
 		s.backend.Repl.RunLogReader()
-		resp.Batches = s.backend.Repl.DrainAfter(sub, req.AckLSN, req.Max)
+		resp.Batches, resp.ThroughLSN = s.backend.Repl.DrainAfterThrough(sub, req.AckLSN, req.Max)
 	default:
 		resp.Err = "wire: unknown request kind"
 	}

@@ -41,6 +41,7 @@ import (
 	"mtcache/internal/exec"
 	"mtcache/internal/opt"
 	"mtcache/internal/resilience"
+	"mtcache/internal/router"
 	"mtcache/internal/storage"
 	"mtcache/internal/types"
 	"mtcache/internal/wire"
@@ -228,6 +229,33 @@ func NewRemoteCache(name string, client BackendClient, options *Options) (*Remot
 func NewRemoteCacheDurable(name string, client BackendClient, options *Options, dataDir string) (*RemoteCache, error) {
 	return wire.NewRemoteCacheDurable(name, client, options, dataDir)
 }
+
+// ServeCache exposes a cache server over TCP so session routers can send it
+// application traffic (queries gated on the session's read-your-writes
+// watermark, forwarded DML, applied-LSN probes).
+func ServeCache(c *RemoteCache, addr string, opts WireServerOptions) (*WireServer, error) {
+	return wire.ServeCache(c, addr, opts)
+}
+
+// SessionRouter routes application sessions over a cache fleet: each session
+// is hash-pinned to a cache, spills to the next live cache on failure, and
+// reads its own writes — the router tracks the backend commit LSN of every
+// update and gates reads on the cache having replicated that far (bypassing
+// to the backend when it has not).
+type SessionRouter = router.Router
+
+// SessionRouterConfig describes the fleet a SessionRouter fronts: the
+// backend address, the cache addresses in fleet order, and the pool/timeout/
+// staleness-wait knobs.
+type SessionRouterConfig = router.Config
+
+// RouterSession is one application session routed over the fleet; its Conn
+// method yields the same opaque connection a local server would.
+type RouterSession = router.Session
+
+// NewSessionRouter builds a router over a fleet of already-serving cache
+// processes plus their backend.
+func NewSessionRouter(cfg SessionRouterConfig) (*SessionRouter, error) { return router.New(cfg) }
 
 // WorkloadItem is one weighted statement for the caching advisor.
 type WorkloadItem = advisor.WorkloadItem
