@@ -13,14 +13,16 @@
 //	mtbench -experiment recovery -clients 16 -bench-json BENCH_recovery.json
 //	mtbench -experiment querystore -bench-json BENCH_querystore.json
 //	mtbench -experiment vectorized -vec-rows 20000 -bench-json BENCH_vectorized.json
+//	mtbench -experiment imcache -bench-json BENCH_imcache.json
 //
 // Experiments: mix, baseline, scaleout, scaleout-sim, replover, repllat,
 // advisor, chaos, throughput, mvcc, parallel, recovery, querystore,
-// vectorized, all. "scaleout" boots a real fleet — K cache processes against
-// one backend with routed, session-consistent traffic — and measures WIPS;
-// "scaleout-sim" is the calibrated capacity simulation the paper figures are
-// scaled from. ("all" excludes scaleout, chaos, throughput, mvcc, parallel,
-// recovery, querystore and vectorized; run them explicitly.)
+// vectorized, imcache, all. "scaleout" boots a real fleet — K cache
+// processes against one backend with routed, session-consistent traffic —
+// and measures WIPS; "scaleout-sim" is the calibrated capacity simulation
+// the paper figures are scaled from. ("all" excludes scaleout, chaos,
+// throughput, mvcc, parallel, recovery, querystore, vectorized and imcache;
+// run them explicitly.)
 package main
 
 import (
@@ -38,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | scaleout-sim | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | vectorized | all")
+		experiment  = flag.String("experiment", "all", "mix | baseline | scaleout | scaleout-sim | replover | repllat | advisor | chaos | throughput | mvcc | parallel | recovery | querystore | vectorized | imcache | all")
 		items       = flag.Int("items", 500, "TPC-W item count")
 		customers   = flag.Int("customers", 1000, "TPC-W customer count")
 		servers     = flag.Int("servers", 5, "maximum web/cache servers")
@@ -105,6 +107,10 @@ func main() {
 	}
 	if *experiment == "vectorized" {
 		printVectorized(*vecRows, *benchJSON)
+		return
+	}
+	if *experiment == "imcache" {
+		printIMCache(*benchJSON)
 		return
 	}
 	if *experiment == "scaleout" {

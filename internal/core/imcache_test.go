@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"mtcache/internal/metrics"
+)
+
+// Tests for replication-driven invalidation of intermediate results: a
+// cache-side materialized result whose lineage includes a cached view must
+// stop being served (without a freshness allowance) as soon as replication
+// applies a write to that view.
+
+func imcacheSetup(t *testing.T) (*BackendServer, *CacheServer) {
+	t.Helper()
+	b := newShop(t)
+	c, err := NewCache("imcache1", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateCachedView(`CREATE CACHED VIEW AllCust AS
+		SELECT cid, cname, caddress, csegment FROM customer`); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+	return b, c
+}
+
+// TestIMCacheInvalidatedByReplicationApply: an intermediate admitted over a
+// cached view goes stale when the distribution agent applies a backend
+// write, and the next plain execution recomputes against the updated view.
+func TestIMCacheInvalidatedByReplicationApply(t *testing.T) {
+	b, c := imcacheSetup(t)
+	const q = "SELECT COUNT(*) AS n FROM customer WHERE csegment = 2"
+	var baseN int64
+	for i := 0; i < 3; i++ {
+		res, err := c.Exec(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseN = res.Rows[0][0].Int()
+	}
+	if baseN == 0 {
+		t.Fatal("baseline count is zero; fixture changed?")
+	}
+
+	invBefore := metrics.Default.Counter("imcache.invalidations").Value()
+	if _, err := b.Exec("INSERT INTO customer (cid, cname, caddress, csegment) VALUES (9001, 'new', 'addr', 2)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Default.Counter("imcache.invalidations").Value(); got == invBefore {
+		t.Fatal("replication apply did not invalidate the intermediate")
+	}
+
+	res, err := c.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != baseN+1 {
+		t.Fatalf("cache served a stale intermediate after replication apply: %d, want %d", n, baseN+1)
+	}
+}
+
+// TestIMCacheStaleServedUnderFreshnessBound: after replication invalidates
+// the intermediate, a WITH FRESHNESS execution within its bound may still
+// serve the stale materialized result — the paper's bounded-staleness
+// semantics composing with result caching.
+func TestIMCacheStaleServedUnderFreshnessBound(t *testing.T) {
+	b, c := imcacheSetup(t)
+	const q = "SELECT COUNT(*) AS n FROM customer WHERE csegment = 3"
+	var baseN int64
+	for i := 0; i < 3; i++ {
+		res, err := c.Exec(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseN = res.Rows[0][0].Int()
+	}
+	if _, err := b.Exec("INSERT INTO customer (cid, cname, caddress, csegment) VALUES (9002, 'new', 'addr', 3)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncReplication(); err != nil {
+		t.Fatal(err)
+	}
+
+	stale, err := c.Exec(q+" WITH FRESHNESS 300", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := stale.Rows[0][0].Int(); n != baseN {
+		t.Fatalf("WITH FRESHNESS 300 recomputed (%d); want the stale intermediate (%d)", n, baseN)
+	}
+	fresh, err := c.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fresh.Rows[0][0].Int(); n != baseN+1 {
+		t.Fatalf("plain execution served stale data: %d, want %d", n, baseN+1)
+	}
+}

@@ -34,12 +34,14 @@ func (db *Database) execDML(stmt sql.Statement, params exec.Params) (*Result, er
 			if err != nil {
 				return nil, err
 			}
+			db.invalidateDMLTarget(stmt)
 			return &Result{RowsAffected: n, CommitLSN: lsn}, nil
 		}
 		n, err := db.remote.Exec(sql.Deparse(stmt), params)
 		if err != nil {
 			return nil, err
 		}
+		db.invalidateDMLTarget(stmt)
 		return &Result{RowsAffected: n}, nil
 	}
 	tx := db.store.Begin(true)
@@ -52,7 +54,23 @@ func (db *Database) execDML(stmt sql.Statement, params exec.Params) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	db.invalidateDMLTarget(stmt)
 	return &Result{RowsAffected: n, CommitLSN: lsn}, nil
+}
+
+// invalidateDMLTarget drops intermediates derived from a DML statement's
+// target table, after the write committed (locally on a backend, at the
+// backend for a cache's forwarded write — the forwarding cache must not
+// keep serving its own overwritten read).
+func (db *Database) invalidateDMLTarget(stmt sql.Statement) {
+	switch x := stmt.(type) {
+	case *sql.InsertStmt:
+		db.InvalidateIntermediates(x.Table.Name)
+	case *sql.UpdateStmt:
+		db.InvalidateIntermediates(x.Table.Name)
+	case *sql.DeleteStmt:
+		db.InvalidateIntermediates(x.Table.Name)
+	}
 }
 
 // virtualDMLTarget returns the virtual system table a DML statement names,

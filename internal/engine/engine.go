@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mtcache/internal/catalog"
 	"mtcache/internal/exec"
+	"mtcache/internal/imcache"
 	"mtcache/internal/metrics"
 	"mtcache/internal/opt"
 	"mtcache/internal/querystore"
@@ -74,6 +76,13 @@ type Database struct {
 	// stale entries behind.
 	mvPlans sync.Map // map[*catalog.Table]*mvPlan
 
+	// imc is the intermediate-result cache (nil when disabled by config);
+	// imcOn gates it at runtime so benchmarks can toggle phases. Admission,
+	// eviction and stale transitions of view-tier entries call
+	// InvalidatePlans through the cache's OnChange hook, exactly like DDL.
+	imc   *imcache.Cache
+	imcOn atomic.Bool
+
 	// onCachedViewCreate is invoked when CREATE CACHED VIEW runs, so the
 	// MTCache layer can provision the replication subscription (paper §4).
 	onCachedViewCreate func(view *catalog.Table) error
@@ -115,6 +124,16 @@ type Config struct {
 	// operators with a vectorized batch path; the measured baseline of
 	// the vectorized-execution benchmarks.
 	RowMode bool
+
+	// DisableIMCache turns the intermediate-result cache off entirely
+	// (no candidate tracking, no lookups). The default-on cache serves
+	// repeated identical SELECTs from materialized results and registers
+	// hot intermediates with the optimizer.
+	DisableIMCache bool
+
+	// IMCache overrides the intermediate-result cache bounds (nil =
+	// imcache defaults: 64 MiB, admit on 2nd execution).
+	IMCache *imcache.Options
 }
 
 // New creates an empty database.
@@ -134,6 +153,15 @@ func New(cfg Config) *Database {
 		autoCache: newAutoLRU(0),
 		autoOff:   cfg.DisableAutoParam,
 		rowMode:   cfg.RowMode,
+	}
+	if !cfg.DisableIMCache {
+		var imOpts imcache.Options
+		if cfg.IMCache != nil {
+			imOpts = *cfg.IMCache
+		}
+		db.imc = imcache.New(imOpts)
+		db.imc.OnChange(db.InvalidatePlans)
+		db.imcOn.Store(true)
 	}
 	db.registerSystemTables()
 	return db
@@ -278,7 +306,12 @@ func (db *Database) mvPlanCacheSize() int {
 }
 
 func (db *Database) env() *opt.Env {
-	return &opt.Env{Cat: db.cat, IsCache: db.role == Cache, Opts: db.opts, Staleness: db.stalenessOf}
+	e := &opt.Env{Cat: db.cat, IsCache: db.role == Cache, Opts: db.opts, Staleness: db.stalenessOf}
+	if imc := db.imcacheIfEnabled(); imc != nil {
+		e.Intermediates = func() []*catalog.Table { return imc.ViewTables(time.Now()) }
+		e.IntermediateStaleness = func(name string) (float64, bool) { return imc.Staleness(name, time.Now()) }
+	}
+	return e
 }
 
 // Result is the outcome of one statement.
@@ -297,6 +330,12 @@ type Result struct {
 	// supports it (exec.LSNExecer). Session routers use it as the session's
 	// read-your-writes high-water mark.
 	CommitLSN storage.LSN
+
+	// SnapshotLSN is the MVCC position a query's rows were read at — the
+	// store's durable LSN when the read transaction began. The
+	// intermediate-result cache records it as the lineage watermark of a
+	// materialized result.
+	SnapshotLSN storage.LSN
 
 	// Executor work counters (local to this server).
 	Counters exec.Counters
@@ -422,6 +461,42 @@ func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, autoArgs
 	if qs.Enabled() {
 		shape = stmt.CacheKey()
 	}
+	// Intermediate-result exact-match fast path: a repeated statement with
+	// identical bound values is answered straight from the materialized
+	// result — no planning, no execution. Ordinary queries demand a fresh
+	// entry; WITH FRESHNESS accepts one stale up to the declared bound.
+	imc := db.imcacheIfEnabled()
+	var imkey string
+	if imc != nil {
+		istart := time.Now()
+		maxStale, boundOK := time.Duration(0), true
+		if stmt.Freshness != nil {
+			if bound, err := db.freshnessBound(stmt, params); err == nil {
+				maxStale = time.Duration(bound * float64(time.Second))
+			} else {
+				boundOK = false // let the planner surface the error
+			}
+		}
+		if boundOK {
+			if stmt.Freshness == nil {
+				imkey = imKey(stmt.CacheKey(), params, autoArgs)
+			} else {
+				imkey = db.imFreshnessKey(stmt, params)
+			}
+			if hit, found := imc.Lookup(imkey, time.Now(), maxStale); found {
+				span.Child("imcache_hit").End()
+				res := &Result{Cols: hit.Cols, Rows: hit.Rows, SnapshotLSN: storage.LSN(hit.LSN)}
+				if shape != "" {
+					qs.Record(querystore.Exec{
+						Shape: shape, Variant: "imcache", Duration: time.Since(istart),
+						Rows: int64(len(res.Rows)), PlanCacheHit: true,
+						Staleness: hit.Staleness.Seconds(), TraceID: span.TraceID(),
+					})
+				}
+				return res, nil
+			}
+		}
+	}
 	osp := span.Child("optimize")
 	start := time.Now()
 	var plan *opt.Plan
@@ -479,6 +554,12 @@ func (db *Database) querySpan(stmt *sql.SelectStmt, params exec.Params, autoArgs
 		}
 		qs.Record(e)
 	}
+	// Feed the intermediate cache. Freshness-bounded executions are not
+	// observed: their plan may have read bounded-stale views, so the rows
+	// are not a fresh materialization of the statement.
+	if imc != nil && imkey != "" && err == nil && stmt.Freshness == nil {
+		db.imObserve(imc, imkey, imShape(stmt), stmt, params, autoArgs, plan, res, time.Since(qstart))
+	}
 	return res, err
 }
 
@@ -527,25 +608,36 @@ func (db *Database) runPlanCaptured(plan *opt.Plan, params exec.Params, autoArgs
 	querystore.Default.StoreAnalyzed(shape, variant, opt.ExplainAnalyze(plan, root, total), formatLiterals(autoArgs))
 	res.Cols = rs.Cols
 	res.Rows = rs.Rows
+	res.SnapshotLSN = tx.AsOfLSN()
 	return res, nil
+}
+
+// freshnessBound evaluates the query's WITH FRESHNESS expression to its
+// bound in seconds.
+func (db *Database) freshnessBound(stmt *sql.SelectStmt, params exec.Params) (float64, error) {
+	bound, err := opt.CompileScalar(stmt.Freshness, nil)
+	if err != nil {
+		return 0, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
+	}
+	v, err := bound.Eval(nil, &exec.Env{Named: params})
+	if err != nil {
+		return 0, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
+	}
+	if v.IsNull() || v.Float() < 0 {
+		return 0, fmt.Errorf("engine: WITH FRESHNESS requires a non-negative number of seconds")
+	}
+	return v.Float(), nil
 }
 
 // planWithFreshness optimizes under the query's declared staleness bound.
 func (db *Database) planWithFreshness(stmt *sql.SelectStmt, params exec.Params) (*opt.Plan, error) {
-	bound, err := opt.CompileScalar(stmt.Freshness, nil)
+	bound, err := db.freshnessBound(stmt, params)
 	if err != nil {
-		return nil, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
-	}
-	v, err := bound.Eval(nil, &exec.Env{Named: params})
-	if err != nil {
-		return nil, fmt.Errorf("engine: WITH FRESHNESS: %w", err)
-	}
-	if v.IsNull() || v.Float() < 0 {
-		return nil, fmt.Errorf("engine: WITH FRESHNESS requires a non-negative number of seconds")
+		return nil, err
 	}
 	env := db.env()
 	env.HasFreshness = true
-	env.MaxStaleness = v.Float()
+	env.MaxStaleness = bound
 	return opt.Optimize(stmt, env)
 }
 
@@ -570,6 +662,7 @@ func (db *Database) planCached(stmt *sql.SelectStmt) (*opt.Plan, bool, error) {
 		metrics.Default.Counter("engine.plan_cache_hits").Add(1)
 		return p, true, nil
 	}
+	gen := db.planCache.gen
 	db.planMu.Unlock()
 	metrics.Default.Counter("engine.plan_cache_misses").Add(1)
 	p, err := opt.Optimize(stmt, db.env())
@@ -577,7 +670,13 @@ func (db *Database) planCached(stmt *sql.SelectStmt) (*opt.Plan, bool, error) {
 		return nil, false, err
 	}
 	db.planMu.Lock()
-	db.planCache.put(key, p)
+	// Optimization ran outside the lock; if InvalidatePlans fired in
+	// between (DDL, or an intermediate-result admit/evict/stale
+	// transition), this plan may reference state that no longer exists —
+	// run it once but do not cache it.
+	if db.planCache.gen == gen {
+		db.planCache.put(key, p)
+	}
 	db.planMu.Unlock()
 	return p, false, nil
 }
@@ -615,6 +714,7 @@ func (db *Database) runPlanSpan(plan *opt.Plan, params exec.Params, autoArgs []t
 	}
 	res.Cols = rs.Cols
 	res.Rows = rs.Rows
+	res.SnapshotLSN = tx.AsOfLSN()
 	return res, nil
 }
 
@@ -754,7 +854,11 @@ func (db *Database) BulkLoad(table string, rows []types.Row) error {
 			return err
 		}
 	}
-	return tx.CommitUnlogged()
+	if err := tx.CommitUnlogged(); err != nil {
+		return err
+	}
+	db.InvalidateIntermediates(table)
+	return nil
 }
 
 // TableRowCount returns the stored row count (0 if no storage).

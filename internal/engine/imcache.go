@@ -1,0 +1,444 @@
+// Intermediate-result cache glue: key construction, lineage extraction,
+// exact-match lookup before planning, admission after execution, and the
+// synthetic-view builder that lets Goldstein–Larson view matching
+// substitute a hot intermediate into *other* queries like any cached
+// view. The cache itself (admission thresholds, benefit-weighted
+// eviction, staleness transitions) lives in internal/imcache; the
+// replication apply path and every local write path invalidate through
+// InvalidateIntermediates.
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/exec"
+	"mtcache/internal/imcache"
+	"mtcache/internal/opt"
+	"mtcache/internal/sql"
+	"mtcache/internal/types"
+)
+
+// imViewPrefix marks synthetic intermediate views in plan UsedViews lists
+// and staleness probes.
+const imViewPrefix = "__im_"
+
+// IMCache exposes the intermediate-result cache (nil when disabled at
+// construction).
+func (db *Database) IMCache() *imcache.Cache { return db.imc }
+
+// SetIMCacheEnabled toggles the intermediate-result cache at runtime.
+// Disabling (or re-enabling) clears cached results and plans so the next
+// queries replan from scratch; benchmarks use it to measure with/without
+// phases on one database.
+func (db *Database) SetIMCacheEnabled(on bool) {
+	if db.imc == nil {
+		return
+	}
+	db.imcOn.Store(on)
+	db.imc.Clear()
+	db.InvalidatePlans()
+}
+
+// imcacheIfEnabled returns the cache when it is present and switched on.
+func (db *Database) imcacheIfEnabled() *imcache.Cache {
+	if db.imc != nil && db.imcOn.Load() {
+		return db.imc
+	}
+	return nil
+}
+
+// InvalidateIntermediates marks every intermediate whose lineage includes
+// table as stale. Every write path calls it after commit: local DML and
+// procedures on a backend, forwarded DML on a cache, bulk loads, DROP,
+// and — the transparent path — replication apply.
+func (db *Database) InvalidateIntermediates(table string) {
+	if db.imc == nil {
+		return
+	}
+	db.imc.Invalidate(table, time.Now())
+}
+
+// imShape returns the statement shape entries are admitted under. Only
+// freshness-free statements are observed, so this is the memoized deparse;
+// WITH FRESHNESS lookups reach the same shape through imFreshnessKey.
+func imShape(stmt *sql.SelectStmt) string {
+	return stmt.CacheKey()
+}
+
+// imKey builds the exact-match result key: the shape plus a kind-tagged
+// encoding of every bound value (auto-extracted literals positionally,
+// named parameters sorted by name). The builder copies all byte content,
+// so keys never alias the pooled normalizer buffers autoArgs point into.
+func imKey(shape string, params exec.Params, autoArgs []types.Value) string {
+	var b strings.Builder
+	b.Grow(len(shape) + 16*len(autoArgs) + 16*len(params))
+	b.WriteString(shape)
+	b.WriteByte(0)
+	for i := range autoArgs {
+		imWriteValue(&b, autoArgs[i])
+	}
+	if len(params) > 0 {
+		names := make([]string, 0, len(params))
+		for n := range params {
+			names = append(names, strings.ToLower(n))
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			b.WriteByte(1)
+			b.WriteString(n)
+			b.WriteByte('=')
+			imWriteValue(&b, params[n])
+		}
+	}
+	return b.String()
+}
+
+// imFreshnessKey computes the exact-match key for a WITH FRESHNESS
+// execution so it lands on its unbounded twin's entry. Freshness text is
+// ineligible for auto-parameterization (the bound is re-evaluated per
+// execution), so the raw statement still carries literals; deparsing the
+// stripped statement and re-normalizing that text yields exactly the shape
+// and extracted values the twin was admitted under.
+func (db *Database) imFreshnessKey(stmt *sql.SelectStmt, params exec.Params) string {
+	bare := &sql.SelectStmt{
+		Top: stmt.Top, Distinct: stmt.Distinct, Columns: stmt.Columns,
+		From: stmt.From, Where: stmt.Where, GroupBy: stmt.GroupBy,
+		Having: stmt.Having, OrderBy: stmt.OrderBy,
+	}
+	text := sql.Deparse(bare)
+	keyParams, _ := imStripFreshnessRefs(stmt.Freshness, params, nil)
+	if nstmt, args, norm, ok := db.autoParse(text); ok {
+		key := imKey(nstmt.CacheKey(), keyParams, args)
+		normPool.Put(norm)
+		return key
+	}
+	return imKey(text, keyParams, nil)
+}
+
+// imStripFreshnessRefs drops the bound values the WITH FRESHNESS clause
+// consumes from key construction: the bound gates *serving*, not result
+// identity, so "… WITH FRESHNESS @bound" must share its unbounded twin's
+// key. Auto-extracted literals are dropped by position; named parameters
+// referenced only by the clause are dropped by name.
+func imStripFreshnessRefs(fresh sql.Expr, params exec.Params, autoArgs []types.Value) (exec.Params, []types.Value) {
+	skipIdx := map[int]bool{}
+	skipName := map[string]bool{}
+	imCollectParams(fresh, skipIdx, skipName)
+	if len(skipIdx) > 0 {
+		kept := make([]types.Value, 0, len(autoArgs))
+		for i, v := range autoArgs {
+			if !skipIdx[i] {
+				kept = append(kept, v)
+			}
+		}
+		autoArgs = kept
+	}
+	if len(skipName) > 0 && len(params) > 0 {
+		kept := make(exec.Params, len(params))
+		for n, v := range params {
+			if !skipName[strings.ToLower(n)] {
+				kept[n] = v
+			}
+		}
+		params = kept
+	}
+	return params, autoArgs
+}
+
+// imCollectParams records every parameter reference under e: auto-params
+// by extraction index, explicit ones by lowercased name.
+func imCollectParams(e sql.Expr, idx map[int]bool, names map[string]bool) {
+	switch x := e.(type) {
+	case *sql.Param:
+		if i, ok := sql.AutoParamIndex(x.Name); ok {
+			idx[i] = true
+		} else {
+			names[strings.ToLower(x.Name)] = true
+		}
+	case *sql.BinaryExpr:
+		imCollectParams(x.L, idx, names)
+		imCollectParams(x.R, idx, names)
+	case *sql.UnaryExpr:
+		imCollectParams(x.X, idx, names)
+	case *sql.FuncCall:
+		for _, a := range x.Args {
+			imCollectParams(a, idx, names)
+		}
+	}
+}
+
+// imWriteValue appends a kind-tagged rendering of v, unambiguous across
+// kinds (an INT 1 and the string "1" must not collide).
+func imWriteValue(b *strings.Builder, v types.Value) {
+	switch v.K {
+	case types.KindNull:
+		b.WriteString("n;")
+	case types.KindBool, types.KindInt:
+		b.WriteString("i:")
+		b.WriteString(strconv.FormatInt(v.I, 10))
+		b.WriteByte(';')
+	case types.KindFloat:
+		b.WriteString("f:")
+		b.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+		b.WriteByte(';')
+	case types.KindString:
+		b.WriteString("s:")
+		b.WriteString(strconv.Quote(v.S))
+		b.WriteByte(';')
+	case types.KindTime:
+		b.WriteString("t:")
+		b.WriteString(strconv.FormatInt(v.T.UnixNano(), 10))
+		b.WriteByte(';')
+	default:
+		b.WriteString("?;")
+	}
+}
+
+// imLineage collects (lowercased, into out) every base table and view the
+// statement reads, recursing through view definitions and derived tables.
+// It returns false when the statement is ineligible for caching: a
+// virtual (sys.*) relation, an unknown name, or an unresolvable ref.
+func (db *Database) imLineage(stmt *sql.SelectStmt, out map[string]bool) bool {
+	for _, ref := range stmt.From {
+		if !db.imLineageRef(ref, out) {
+			return false
+		}
+	}
+	return true
+}
+
+func (db *Database) imLineageRef(ref sql.TableRef, out map[string]bool) bool {
+	switch r := ref.(type) {
+	case *sql.TableName:
+		t := db.cat.Table(r.FullName())
+		if t == nil || t.Virtual {
+			return false // sys.* output changes outside any write path
+		}
+		lower := strings.ToLower(t.Name)
+		if out[lower] {
+			return true // already expanded (also breaks view cycles)
+		}
+		out[lower] = true
+		if t.IsView && t.ViewDef != nil {
+			// Record the underlying bases too: replication apply targets
+			// the cached view's own table, local DML targets the base.
+			for _, sub := range t.ViewDef.From {
+				if !db.imLineageRef(sub, out) {
+					return false
+				}
+			}
+		}
+		return true
+	case *sql.JoinRef:
+		return db.imLineageRef(r.Left, out) && db.imLineageRef(r.Right, out)
+	case *sql.SubqueryRef:
+		return db.imLineage(r.Select, out)
+	}
+	return false
+}
+
+// imObserve feeds one successfully executed SELECT into the cache. Only
+// fully-local plans qualify: a remote or mixed plan's rows were produced
+// on the backend, where writes this cache never hears about could
+// invalidate them silently. Plans that already read an intermediate are
+// skipped so entries never layer on each other.
+func (db *Database) imObserve(imc *imcache.Cache, key, shape string, stmt *sql.SelectStmt,
+	params exec.Params, autoArgs []types.Value, plan *opt.Plan, res *Result, dur time.Duration) {
+	if !plan.FullyLocal || res == nil {
+		return
+	}
+	lineage := map[string]bool{}
+	if !db.imLineage(stmt, lineage) || len(lineage) == 0 {
+		return
+	}
+	for _, v := range plan.UsedViews {
+		if strings.HasPrefix(v, imViewPrefix) {
+			return
+		}
+		lineage[strings.ToLower(v)] = true
+	}
+	names := make([]string, 0, len(lineage))
+	for n := range lineage {
+		names = append(names, n)
+	}
+	admitted := imc.Observe(imcache.Observation{
+		Key:     key,
+		Shape:   shape,
+		Args:    formatLiterals(autoArgs),
+		Cols:    res.Cols,
+		Rows:    res.Rows,
+		Lineage: names,
+		LSN:     uint64(res.SnapshotLSN),
+		CostNs:  dur.Nanoseconds(),
+	}, time.Now())
+	if !admitted {
+		return
+	}
+	if view := db.buildIntermediateView(imc, stmt, params, autoArgs, res); view != nil {
+		imc.AttachView(key, view)
+	}
+}
+
+// buildIntermediateView turns a view-matchable statement into a synthetic
+// cached-view catalog entry over the already-materialized rows, so the
+// optimizer substitutes the intermediate into other queries touching the
+// same base table. Requirements mirror MatchView's view-definition shape:
+// one plain base-table FROM, no aggregation / TOP / DISTINCT, plain
+// column outputs, and a WHERE whose parameters all resolve to the bound
+// values this result was computed with. Ineligible statements return nil
+// — they still serve exact-match lookups.
+func (db *Database) buildIntermediateView(imc *imcache.Cache, stmt *sql.SelectStmt,
+	params exec.Params, autoArgs []types.Value, res *Result) *catalog.Table {
+	if len(stmt.From) != 1 || stmt.GroupBy != nil || stmt.Having != nil ||
+		stmt.Top != nil || stmt.Distinct || len(res.Cols) == 0 {
+		return nil
+	}
+	tn, ok := stmt.From[0].(*sql.TableName)
+	if !ok {
+		return nil
+	}
+	base := db.cat.Table(tn.FullName())
+	if base == nil || base.Virtual || base.IsView {
+		return nil
+	}
+	var items []sql.SelectItem
+	if len(stmt.Columns) == 1 && stmt.Columns[0].Star && stmt.Columns[0].StarTable == "" {
+		items = []sql.SelectItem{{Star: true}}
+	} else {
+		for _, it := range stmt.Columns {
+			ref, ok := it.Expr.(*sql.ColumnRef)
+			if it.Star || !ok {
+				return nil
+			}
+			items = append(items, sql.SelectItem{Expr: &sql.ColumnRef{Name: ref.Name}, Alias: it.Alias})
+		}
+	}
+	where, ok := imSubstExpr(stmt.Where, params, autoArgs)
+	if !ok {
+		return nil
+	}
+	rows := res.Rows
+	viewCols := make([]catalog.Column, len(res.Cols))
+	colNames := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		viewCols[i] = catalog.Column{Name: c.Name, Type: c.Kind}
+		colNames[i] = c.Name
+	}
+	return &catalog.Table{
+		Name:         imc.NextViewName(),
+		Columns:      viewCols,
+		IsView:       true,
+		Materialized: true,
+		Cached:       true, // never mixed-result: the rows may be stale
+		Virtual:      true, // no storage; scanned through RowsFn
+		RowsFn:       func() []types.Row { return rows },
+		ViewDef: &sql.SelectStmt{
+			Columns: items,
+			From:    []sql.TableRef{&sql.TableName{Name: base.Name}},
+			Where:   where,
+		},
+		Stats: catalog.BuildTableStats(colNames, rows),
+	}
+}
+
+// imSubstExpr deep-copies e with every parameter replaced by its bound
+// value as a literal and every column qualifier stripped (the synthetic
+// view definition has no alias). false when a parameter has no binding or
+// an expression kind is not understood.
+func imSubstExpr(e sql.Expr, params exec.Params, autoArgs []types.Value) (sql.Expr, bool) {
+	switch x := e.(type) {
+	case nil:
+		return nil, true
+	case *sql.ColumnRef:
+		return &sql.ColumnRef{Name: x.Name}, true
+	case *sql.Literal:
+		c := *x
+		return &c, true
+	case *sql.Param:
+		v, ok := imResolveParam(x.Name, params, autoArgs)
+		if !ok {
+			return nil, false
+		}
+		return &sql.Literal{Val: v}, true
+	case *sql.BinaryExpr:
+		l, ok1 := imSubstExpr(x.L, params, autoArgs)
+		r, ok2 := imSubstExpr(x.R, params, autoArgs)
+		return &sql.BinaryExpr{Op: x.Op, L: l, R: r}, ok1 && ok2
+	case *sql.UnaryExpr:
+		sub, ok := imSubstExpr(x.X, params, autoArgs)
+		return &sql.UnaryExpr{Op: x.Op, X: sub}, ok
+	case *sql.LikeExpr:
+		l, ok1 := imSubstExpr(x.X, params, autoArgs)
+		p, ok2 := imSubstExpr(x.Pattern, params, autoArgs)
+		return &sql.LikeExpr{X: l, Pattern: p, Not: x.Not}, ok1 && ok2
+	case *sql.InExpr:
+		sub, ok := imSubstExpr(x.X, params, autoArgs)
+		c := &sql.InExpr{X: sub, Not: x.Not}
+		for _, a := range x.List {
+			ca, aok := imSubstExpr(a, params, autoArgs)
+			ok = ok && aok
+			c.List = append(c.List, ca)
+		}
+		return c, ok
+	case *sql.BetweenExpr:
+		sub, ok1 := imSubstExpr(x.X, params, autoArgs)
+		lo, ok2 := imSubstExpr(x.Lo, params, autoArgs)
+		hi, ok3 := imSubstExpr(x.Hi, params, autoArgs)
+		return &sql.BetweenExpr{X: sub, Lo: lo, Hi: hi, Not: x.Not}, ok1 && ok2 && ok3
+	case *sql.IsNullExpr:
+		sub, ok := imSubstExpr(x.X, params, autoArgs)
+		return &sql.IsNullExpr{X: sub, Not: x.Not}, ok
+	}
+	return nil, false
+}
+
+// imResolveParam resolves @name against the auto-extracted literals
+// (positional __pN) or the named parameter map, deep-copying string
+// payloads so the literal outlives the pooled normalizer buffer.
+func imResolveParam(name string, params exec.Params, autoArgs []types.Value) (types.Value, bool) {
+	if i, ok := sql.AutoParamIndex(name); ok {
+		if i < 0 || i >= len(autoArgs) {
+			return types.Value{}, false
+		}
+		return imCopyValue(autoArgs[i]), true
+	}
+	for n, v := range params {
+		if strings.EqualFold(n, name) {
+			return imCopyValue(v), true
+		}
+	}
+	return types.Value{}, false
+}
+
+func imCopyValue(v types.Value) types.Value {
+	v.S = strings.Clone(v.S)
+	return v
+}
+
+// intermediateResultsRows backs sys.intermediate_results.
+func (db *Database) intermediateResultsRows() []types.Row {
+	if db.imc == nil {
+		return nil
+	}
+	infos := db.imc.Snapshot(time.Now())
+	rows := make([]types.Row, 0, len(infos))
+	for _, e := range infos {
+		rows = append(rows, types.Row{
+			types.NewString(e.Shape),
+			types.NewString(e.Args),
+			types.NewString(e.ViewName),
+			types.NewInt(int64(e.Rows)),
+			types.NewInt(e.Bytes),
+			types.NewInt(e.Hits),
+			types.NewInt(e.SavedNs),
+			types.NewString(strings.Join(e.Lineage, ",")),
+			types.NewInt(int64(e.LSN)),
+			types.NewFloat(e.StalenessSeconds),
+		})
+	}
+	return rows
+}

@@ -20,6 +20,13 @@ type planLRU struct {
 	cap   int
 	items map[string]*list.Element
 	order *list.List // front = most recently used
+
+	// gen counts invalidations. planCached snapshots it before optimizing
+	// outside the lock and refuses to insert a plan produced against a
+	// generation that has since been cleared — otherwise a plan referencing
+	// a dropped view or evicted intermediate could outlive the DDL (or
+	// imcache transition) that invalidated it.
+	gen uint64
 }
 
 type planEntry struct {
@@ -66,6 +73,7 @@ func (c *planLRU) put(key string, p *opt.Plan) {
 func (c *planLRU) clear() {
 	c.items = make(map[string]*list.Element)
 	c.order.Init()
+	c.gen++
 }
 
 func (c *planLRU) len() int { return len(c.items) }

@@ -145,6 +145,9 @@ func (db *Database) CallProcedure(name string, params exec.Params) (*Result, err
 		if err != nil {
 			return nil, err
 		}
+		for _, stmt := range proc.Body {
+			db.invalidateDMLTarget(stmt)
+		}
 		res.CommitLSN = lsn
 		return res, nil
 	}

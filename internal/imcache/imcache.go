@@ -1,0 +1,613 @@
+// Package imcache implements the intermediate-result cache: hot
+// query-produced results (join/agg outputs) are fingerprinted by their
+// normalized shape plus bound parameter values, admitted after repeated
+// executions cross a benefit threshold, kept under a benefit-weighted
+// byte budget, and invalidated coarsely by table lineage whenever the
+// replication apply path (or local DML) touches a source table.
+//
+// Invalidation is a freshness transition, not an immediate drop: a
+// touched entry becomes *stale* at the invalidation instant, which makes
+// it invisible to ordinary queries (they demand staleness 0) but still
+// usable under a WITH FRESHNESS bound that covers its age. Entries stale
+// for longer than Options.MaxStaleAge are discarded outright.
+//
+// The cache has two reuse tiers. Every admitted entry serves exact-match
+// lookups (same shape, same parameter values) straight from the engine
+// before planning. Entries whose statement is simple enough for
+// Goldstein–Larson view matching additionally carry a synthetic
+// materialized-view catalog entry (attached by the engine via
+// AttachView) that the optimizer substitutes into *other* queries like
+// any cached view. Admission, eviction and stale transitions of
+// view-tier entries fire the OnChange hook so the engine can invalidate
+// its plan cache exactly like DDL does.
+package imcache
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mtcache/internal/catalog"
+	"mtcache/internal/exec"
+	"mtcache/internal/metrics"
+	"mtcache/internal/types"
+)
+
+// Options bounds the cache. Zero values select the defaults.
+type Options struct {
+	MaxBytes      int64         // total result-byte budget (default 64 MiB)
+	MaxEntryBytes int64         // largest admissible single result (default MaxBytes/8)
+	AdmitAfter    int           // executions of a key before admission (default 2)
+	MaxTracked    int           // candidate keys tracked for admission (default 512)
+	MaxStaleAge   time.Duration // stale entries older than this are dropped (default 5m)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 64 << 20
+	}
+	if o.MaxEntryBytes <= 0 {
+		o.MaxEntryBytes = o.MaxBytes / 8
+	}
+	if o.AdmitAfter <= 0 {
+		o.AdmitAfter = 2
+	}
+	if o.MaxTracked <= 0 {
+		o.MaxTracked = 512
+	}
+	if o.MaxStaleAge <= 0 {
+		o.MaxStaleAge = 5 * time.Minute
+	}
+	return o
+}
+
+// Observation describes one completed execution of a cacheable statement.
+type Observation struct {
+	Key     string         // result key: normalized shape + bound literal values
+	Shape   string         // normalized statement shape (querystore key)
+	Args    string         // rendered literal values, for sys.* display only
+	Cols    []exec.ColInfo // result schema
+	Rows    []types.Row    // materialized result; must not be mutated after the call
+	Lineage []string       // lowercased source tables (base tables and cached views)
+	LSN     uint64         // MVCC snapshot LSN the result was computed at
+	CostNs  int64          // wall time spent computing the result
+}
+
+// Entry is one admitted intermediate result.
+type Entry struct {
+	Key        string
+	Shape      string
+	Args       string
+	Cols       []exec.ColInfo
+	Rows       []types.Row
+	Bytes      int64
+	Lineage    []string
+	LSN        uint64
+	ComputedAt time.Time
+	CostNs     int64
+
+	// View is the synthetic materialized-view catalog entry for
+	// view-matchable statements (nil for exact-match-only entries).
+	View *catalog.Table
+
+	hits     int64
+	savedNs  int64
+	lastUsed time.Time
+	staleAt  time.Time // zero = fresh; else the invalidation instant
+}
+
+// staleness returns how long the entry has been stale (0 when fresh).
+func (e *Entry) staleness(now time.Time) time.Duration {
+	if e.staleAt.IsZero() {
+		return 0
+	}
+	d := now.Sub(e.staleAt)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// weight is the benefit density used by eviction: cheaper-to-lose entries
+// (low recompute cost, few hits, many bytes) have low weight. Stale
+// entries always order before fresh ones.
+func (e *Entry) weight() float64 {
+	b := e.Bytes
+	if b <= 0 {
+		b = 1
+	}
+	return float64(e.CostNs) * float64(1+e.hits) / float64(b)
+}
+
+// Hit is the payload returned by Lookup. Rows aliases the cached result
+// and must be treated as immutable.
+type Hit struct {
+	Cols      []exec.ColInfo
+	Rows      []types.Row
+	LSN       uint64
+	Staleness time.Duration
+}
+
+// candidate tracks a not-yet-admitted key's execution history.
+type candidate struct {
+	count   int
+	totalNs int64
+	seen    int64 // admission-order tick, for bounding the tracker
+	tooBig  bool  // result exceeded MaxEntryBytes; never admit
+}
+
+// Cache is the intermediate-result cache. All methods are safe for
+// concurrent use. The OnChange hook is always invoked without the cache
+// lock held.
+type Cache struct {
+	mu       sync.Mutex
+	opts     Options
+	entries  map[string]*Entry
+	byView   map[string]*Entry // view name (lowercased) -> entry
+	cands    map[string]*candidate
+	bytes    int64
+	tick     int64
+	viewSeq  int64
+	onChange func()
+}
+
+// New creates a cache with the given bounds.
+func New(opts Options) *Cache {
+	return &Cache{
+		opts:    opts.withDefaults(),
+		entries: make(map[string]*Entry),
+		byView:  make(map[string]*Entry),
+		cands:   make(map[string]*candidate),
+	}
+}
+
+// OnChange registers fn to run after any mutation that affects plan
+// validity: admit, eviction, stale transition or refresh of a view-tier
+// entry. The engine points this at its plan-cache invalidation.
+func (c *Cache) OnChange(fn func()) {
+	c.mu.Lock()
+	c.onChange = fn
+	c.mu.Unlock()
+}
+
+// Options returns the effective (defaulted) bounds.
+func (c *Cache) Options() Options {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts
+}
+
+// NextViewName reserves a fresh synthetic view name ("__im_N").
+func (c *Cache) NextViewName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.viewSeq++
+	return "__im_" + itoa(c.viewSeq)
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Observe records one completed execution. It returns true when the key
+// is now (or was just re-) materialized — the caller should then attach
+// a view via AttachView if the statement is view-matchable.
+func (c *Cache) Observe(obs Observation, now time.Time) bool {
+	if obs.Key == "" || len(obs.Lineage) == 0 {
+		return false
+	}
+	bytes := estimateBytes(obs.Cols, obs.Rows)
+	var changed bool
+	c.mu.Lock()
+	defer func() {
+		fn := c.onChange
+		c.mu.Unlock()
+		if changed && fn != nil {
+			fn()
+		}
+	}()
+	c.dropOverStaleLocked(now, &changed)
+
+	if e, ok := c.entries[obs.Key]; ok {
+		// A recomputation of an admitted entry means the cached copy was
+		// stale (or bypassed); refresh it in place with the new snapshot.
+		c.bytes += bytes - e.Bytes
+		e.Cols, e.Rows, e.Bytes = obs.Cols, obs.Rows, bytes
+		e.LSN, e.ComputedAt, e.CostNs = obs.LSN, now, obs.CostNs
+		e.lastUsed = now
+		if !e.staleAt.IsZero() || e.View != nil {
+			changed = true
+		}
+		e.staleAt = time.Time{}
+		if e.View != nil {
+			refreshView(e)
+		}
+		c.evictToFitLocked(obs.Key, &changed)
+		c.publishLocked()
+		return c.entries[obs.Key] != nil
+	}
+
+	cand := c.cands[obs.Key]
+	if cand == nil {
+		cand = &candidate{}
+		c.cands[obs.Key] = cand
+		c.boundCandidatesLocked()
+	}
+	c.tick++
+	cand.count++
+	cand.totalNs += obs.CostNs
+	cand.seen = c.tick
+	if bytes > c.opts.MaxEntryBytes {
+		cand.tooBig = true
+	}
+	if cand.tooBig || cand.count < c.opts.AdmitAfter {
+		c.publishLocked()
+		return false
+	}
+
+	e := &Entry{
+		Key:        obs.Key,
+		Shape:      obs.Shape,
+		Args:       obs.Args,
+		Cols:       obs.Cols,
+		Rows:       obs.Rows,
+		Bytes:      bytes,
+		Lineage:    lowerAll(obs.Lineage),
+		LSN:        obs.LSN,
+		ComputedAt: now,
+		CostNs:     cand.totalNs / int64(cand.count),
+		lastUsed:   now,
+	}
+	if e.CostNs <= 0 {
+		e.CostNs = 1
+	}
+	delete(c.cands, obs.Key)
+	c.entries[obs.Key] = e
+	c.bytes += e.Bytes
+	c.evictToFitLocked(obs.Key, &changed)
+	if c.entries[obs.Key] == nil {
+		c.publishLocked()
+		return false // could not fit even after evicting everything else
+	}
+	metrics.Default.Counter("imcache.admits").Add(1)
+	c.publishLocked()
+	return true
+}
+
+// AttachView associates a synthetic materialized-view catalog entry with
+// an admitted key, making it visible to the optimizer's view matching.
+func (c *Cache) AttachView(key string, view *catalog.Table) {
+	if view == nil {
+		return
+	}
+	var changed bool
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.View == nil {
+		e.View = view
+		c.byView[strings.ToLower(view.Name)] = e
+		changed = true
+	}
+	fn := c.onChange
+	c.mu.Unlock()
+	if changed && fn != nil {
+		fn()
+	}
+}
+
+// Lookup serves an exact-match hit for key when the entry's staleness is
+// within maxStale (pass 0 to demand a fresh entry). Entries stale beyond
+// MaxStaleAge are dropped on the way.
+func (c *Cache) Lookup(key string, now time.Time, maxStale time.Duration) (Hit, bool) {
+	if key == "" {
+		return Hit{}, false
+	}
+	var changed bool
+	var hit Hit
+	var ok bool
+	c.mu.Lock()
+	c.dropOverStaleLocked(now, &changed)
+	if e, present := c.entries[key]; present {
+		// A fresh entry serves any request; a stale one needs a positive
+		// freshness budget covering its age (the invalidation instant
+		// itself computes staleness 0, so IsZero is the fresh test).
+		if st := e.staleness(now); e.staleAt.IsZero() || (maxStale > 0 && st <= maxStale) {
+			e.hits++
+			e.savedNs += e.CostNs
+			e.lastUsed = now
+			hit = Hit{Cols: e.Cols, Rows: e.Rows, LSN: e.LSN, Staleness: st}
+			ok = true
+		}
+	}
+	if ok {
+		metrics.Default.Counter("imcache.hits").Add(1)
+	} else {
+		metrics.Default.Counter("imcache.misses").Add(1)
+	}
+	c.publishLocked()
+	fn := c.onChange
+	c.mu.Unlock()
+	if changed && fn != nil {
+		fn()
+	}
+	return hit, ok
+}
+
+// Invalidate marks every fresh entry whose lineage includes table as
+// stale at instant now. It returns the number of entries transitioned.
+func (c *Cache) Invalidate(table string, now time.Time) int {
+	lower := strings.ToLower(table)
+	var changed bool
+	n := 0
+	c.mu.Lock()
+	for _, e := range c.entries {
+		if !e.staleAt.IsZero() || !lineageHas(e.Lineage, lower) {
+			continue
+		}
+		e.staleAt = now
+		n++
+		if e.View != nil {
+			changed = true
+		}
+	}
+	if n > 0 {
+		metrics.Default.Counter("imcache.invalidations").Add(int64(n))
+	}
+	c.dropOverStaleLocked(now, &changed)
+	fn := c.onChange
+	c.mu.Unlock()
+	if changed && fn != nil {
+		fn()
+	}
+	return n
+}
+
+// ViewTables returns the synthetic view catalog entries usable at instant
+// now: fresh ones and stale ones still within MaxStaleAge (the optimizer
+// gates those behind the query's freshness bound via Staleness).
+func (c *Cache) ViewTables(now time.Time) []*catalog.Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*catalog.Table
+	for _, e := range c.entries {
+		if e.View == nil {
+			continue
+		}
+		if st := e.staleness(now); st > 0 && st > c.opts.MaxStaleAge {
+			continue
+		}
+		out = append(out, e.View)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Staleness reports the staleness in seconds of the named synthetic view
+// at instant now (false when the name is not an intermediate).
+func (c *Cache) Staleness(name string, now time.Time) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byView[strings.ToLower(name)]
+	if !ok {
+		return 0, false
+	}
+	return e.staleness(now).Seconds(), true
+}
+
+// EntryInfo is a point-in-time description of one entry for sys.* output.
+type EntryInfo struct {
+	Shape            string
+	Args             string
+	ViewName         string // "" for exact-match-only entries
+	Rows             int
+	Bytes            int64
+	Hits             int64
+	SavedNs          int64
+	Lineage          []string
+	LSN              uint64
+	StalenessSeconds float64
+}
+
+// Snapshot lists every entry, hottest first.
+func (c *Cache) Snapshot(now time.Time) []EntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, len(c.entries))
+	for _, e := range c.entries {
+		info := EntryInfo{
+			Shape:            e.Shape,
+			Args:             e.Args,
+			Rows:             len(e.Rows),
+			Bytes:            e.Bytes,
+			Hits:             e.hits,
+			SavedNs:          e.savedNs,
+			Lineage:          append([]string(nil), e.Lineage...),
+			LSN:              e.LSN,
+			StalenessSeconds: e.staleness(now).Seconds(),
+		}
+		if e.View != nil {
+			info.ViewName = e.View.Name
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Shape < out[j].Shape
+	})
+	return out
+}
+
+// Len returns the number of admitted entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the current total result bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Clear drops every entry and candidate.
+func (c *Cache) Clear() {
+	var changed bool
+	c.mu.Lock()
+	for key := range c.entries {
+		c.removeLocked(key, &changed)
+	}
+	c.cands = make(map[string]*candidate)
+	c.publishLocked()
+	fn := c.onChange
+	c.mu.Unlock()
+	if changed && fn != nil {
+		fn()
+	}
+}
+
+// removeLocked drops one entry, firing metrics and flagging a plan-cache
+// change when it carried a view.
+func (c *Cache) removeLocked(key string, changed *bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	delete(c.entries, key)
+	c.bytes -= e.Bytes
+	if e.View != nil {
+		delete(c.byView, strings.ToLower(e.View.Name))
+		*changed = true
+	}
+	metrics.Default.Counter("imcache.evictions").Add(1)
+}
+
+// evictToFitLocked evicts lowest-weight entries (stale first) until the
+// byte budget holds. keep is never evicted unless it alone exceeds the
+// budget, in which case it too is dropped.
+func (c *Cache) evictToFitLocked(keep string, changed *bool) {
+	for c.bytes > c.opts.MaxBytes {
+		var victim *Entry
+		for _, e := range c.entries {
+			if e.Key == keep {
+				continue
+			}
+			if victim == nil || evictBefore(e, victim) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			// Only the protected entry remains and it still overflows.
+			c.removeLocked(keep, changed)
+			return
+		}
+		c.removeLocked(victim.Key, changed)
+	}
+}
+
+// evictBefore reports whether a should be evicted before b.
+func evictBefore(a, b *Entry) bool {
+	as, bs := !a.staleAt.IsZero(), !b.staleAt.IsZero()
+	if as != bs {
+		return as // stale entries go first
+	}
+	if aw, bw := a.weight(), b.weight(); aw != bw {
+		return aw < bw
+	}
+	return a.lastUsed.Before(b.lastUsed)
+}
+
+// dropOverStaleLocked removes entries stale for longer than MaxStaleAge.
+func (c *Cache) dropOverStaleLocked(now time.Time, changed *bool) {
+	for key, e := range c.entries {
+		if st := e.staleness(now); st > 0 && st > c.opts.MaxStaleAge {
+			c.removeLocked(key, changed)
+		}
+	}
+}
+
+// boundCandidatesLocked keeps the admission tracker under MaxTracked by
+// dropping the least-promising candidate (fewest executions, oldest).
+func (c *Cache) boundCandidatesLocked() {
+	for len(c.cands) > c.opts.MaxTracked {
+		var worstKey string
+		var worst *candidate
+		for k, cand := range c.cands {
+			if worst == nil || cand.count < worst.count ||
+				(cand.count == worst.count && cand.seen < worst.seen) {
+				worstKey, worst = k, cand
+			}
+		}
+		delete(c.cands, worstKey)
+	}
+}
+
+// publishLocked refreshes the imcache.bytes gauge.
+func (c *Cache) publishLocked() {
+	metrics.Default.Gauge("imcache.bytes").Set(float64(c.bytes))
+}
+
+// refreshView rebuilds the view's row source and stats after an in-place
+// refresh so already-matched plans (which clone the RowsFn result per
+// execution) see the new snapshot.
+func refreshView(e *Entry) {
+	rows := e.Rows
+	e.View.RowsFn = func() []types.Row { return rows }
+	cols := make([]string, len(e.Cols))
+	for i, col := range e.Cols {
+		cols[i] = col.Name
+	}
+	e.View.Stats = catalog.BuildTableStats(cols, rows)
+}
+
+// estimateBytes approximates the retained size of a result: a fixed
+// per-value overhead plus string payloads.
+func estimateBytes(cols []exec.ColInfo, rows []types.Row) int64 {
+	total := int64(64) // entry header
+	for _, col := range cols {
+		total += int64(len(col.Table) + len(col.Name) + 16)
+	}
+	for _, row := range rows {
+		total += 24 // slice header
+		for i := range row {
+			total += 32 + int64(len(row[i].S))
+		}
+	}
+	return total
+}
+
+func lowerAll(in []string) []string {
+	out := make([]string, 0, len(in))
+	seen := make(map[string]bool, len(in))
+	for _, s := range in {
+		l := strings.ToLower(s)
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lineageHas(lineage []string, lower string) bool {
+	for _, l := range lineage {
+		if l == lower {
+			return true
+		}
+	}
+	return false
+}

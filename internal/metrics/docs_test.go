@@ -15,7 +15,7 @@ import (
 // literal somewhere under internal/ or cmd/. This pins the docs to the
 // registry and catches silent renames on either side.
 
-var docNameRe = regexp.MustCompile("`((?:engine|exec|opt|repl|storage|wire|querystore)\\.[a-z0-9_]+(?:\\.<view>)?)`")
+var docNameRe = regexp.MustCompile("`((?:engine|exec|imcache|opt|repl|storage|wire|querystore)\\.[a-z0-9_]+(?:\\.<view>)?)`")
 
 var registerRe = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\("([^"]+)"`)
 

@@ -235,5 +235,11 @@ func ApplyBatch(target *engine.Database, table string, batch TxnBatch) error {
 			}
 		}
 	}
-	return tx.CommitUnlogged()
+	if err := tx.CommitUnlogged(); err != nil {
+		return err
+	}
+	// Replicated writes are the invalidation signal for intermediate results
+	// derived from this table: mark them stale now that the change is visible.
+	target.InvalidateIntermediates(table)
+	return nil
 }

@@ -311,6 +311,9 @@ func (s *Server) snapshot(sub *Subscription) error {
 	if err := ttx.CommitUnlogged(); err != nil {
 		return err
 	}
+	// A (re)seed changes the target table's contents wholesale; any
+	// intermediate results derived from it are stale.
+	sub.Target.InvalidateIntermediates(sub.TargetTable)
 	return sub.Target.AnalyzeTable(sub.TargetTable)
 }
 

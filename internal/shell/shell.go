@@ -7,6 +7,8 @@
 //	\slow [n]    captured slow-query plans with EXPLAIN ANALYZE trees
 //	             (sys.query_plans)
 //	\events [n]  recent structured events (sys.events)
+//	\imcache [n] admitted intermediate results by hit count
+//	             (sys.intermediate_results)
 //	\explain <q> the optimizer's plan for a query
 //	\trace       the last query's span tree
 //	\metrics     the metrics registry
@@ -42,7 +44,7 @@ type Config struct {
 // Run reads commands from cfg.In until EOF or \quit.
 func Run(cfg Config) {
 	out := cfg.Out
-	fmt.Fprintln(out, `type SQL statements; \top [n], \slow [n], \events [n], \explain <q>, \trace, \pull, \checkpoint, \metrics, \quit`)
+	fmt.Fprintln(out, `type SQL statements; \top [n], \slow [n], \events [n], \imcache [n], \explain <q>, \trace, \pull, \checkpoint, \metrics, \quit`)
 	sc := bufio.NewScanner(cfg.In)
 	fmt.Fprint(out, "> ")
 	for sc.Scan() {
@@ -104,6 +106,11 @@ func Run(cfg Config) {
 			n := argN(line, `\events`, 20)
 			runSQL(cfg, out, fmt.Sprintf(
 				`SELECT TOP %d seq, ts, kind, trace_id, detail FROM sys.events ORDER BY seq DESC`, n))
+		case line == `\imcache` || strings.HasPrefix(line, `\imcache `):
+			n := argN(line, `\imcache`, 10)
+			runSQL(cfg, out, fmt.Sprintf(`SELECT TOP %d shape, literals, view_name, rows, bytes,
+				hits, saved_ns, lineage, staleness_seconds
+				FROM sys.intermediate_results ORDER BY hits DESC`, n))
 		case line == `\slow` || strings.HasPrefix(line, `\slow `):
 			n := argN(line, `\slow`, 5)
 			printSlow(cfg, out, n)

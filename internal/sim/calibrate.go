@@ -118,6 +118,13 @@ func Calibrate(cfg tpcw.Config, reps int) (*CalibrationResult, error) {
 	if err := tpcw.SetupCache(cache); err != nil {
 		return nil, err
 	}
+	// The capacity simulation reproduces the paper's figures, which know
+	// only DBA-declared cached views. The intermediate-result cache would
+	// warp the measured per-interaction costs (repeated aggregates with
+	// identical parameters become near-free lookups), so calibration runs
+	// with it off on both servers.
+	backend.DB.SetIMCacheEnabled(false)
+	cache.DB.SetIMCacheEnabled(false)
 
 	res := &CalibrationResult{Backend: backend, Cache: cache}
 

@@ -242,6 +242,9 @@ func (rc *RemoteCache) populate(view string, rows []types.Row) error {
 	if err := tx.CommitUnlogged(); err != nil {
 		return err
 	}
+	// Seeding replaces the view's contents; intermediates derived from it
+	// are stale.
+	rc.DB.InvalidateIntermediates(view)
 	return rc.DB.AnalyzeTable(view)
 }
 
